@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Regenerates Figure 12 of the paper: dynamic 88100 cycle counts for
+ * the Matrix Multiply and Gamteb programs under the six network
+ * interface models, split into non-message work, dispatching, and all
+ * other communication.  Also evaluates the paper's Section 4.2.3 /
+ * Section 5 headline claims:
+ *
+ *   A. optimized register-mapped vs basic off-chip: communication
+ *      cost drops ~5x, total execution ~40%, and the message-passing
+ *      share falls from ~51% to ~17%;
+ *   B. the slowest optimized implementation beats the fastest
+ *      unoptimized one;
+ *   D. the optimized off-chip interface alone improves communication
+ *      ~2x over the basic off-chip interface.
+ *
+ * Flags:
+ *   --n N          matrix dimension for Matrix Multiply (default 100)
+ *   --particles P  Gamteb source particles (default 16)
+ *   --offchip-delay D   off-chip load-use delay (default 2)
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "apps/gamteb.hh"
+#include "apps/matmul.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "tam/expand.hh"
+
+using namespace tcpni;
+
+namespace
+{
+
+std::string
+fmtK(double v)
+{
+    char buf[32];
+    if (v >= 1e6)
+        std::snprintf(buf, sizeof(buf), "%.2fM", v / 1e6);
+    else
+        std::snprintf(buf, sizeof(buf), "%.1fk", v / 1e3);
+    return buf;
+}
+
+std::string
+pct(double v)
+{
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%.1f%%", v * 100);
+    return buf;
+}
+
+struct ProgramBars
+{
+    std::string name;
+    tam::TamStats stats;
+    std::vector<tam::Figure12Bar> bars;     // per model
+};
+
+void
+printProgram(const ProgramBars &p)
+{
+    std::cout << "\n--- " << p.name << " ---\n";
+    TextTable t;
+    t.header({"Model", "Work", "Dispatch", "Other comm", "Total",
+              "Comm share"});
+    auto models = ni::allModels();
+    for (size_t i = 0; i < models.size(); ++i) {
+        const tam::Figure12Bar &b = p.bars[i];
+        t.row({models[i].name(), fmtK(b.work), fmtK(b.dispatch),
+               fmtK(b.otherComm), fmtK(b.total()),
+               pct(b.commFraction())});
+    }
+    t.print(std::cout);
+
+    // ASCII rendition of the stacked bars (normalized to the worst
+    // model).
+    double max_total = 0;
+    for (const auto &b : p.bars)
+        max_total = std::max(max_total, b.total());
+    std::cout << "\n  (#: work, D: dispatch, C: other communication; "
+                 "60 columns = worst model)\n";
+    for (size_t i = 0; i < models.size(); ++i) {
+        const tam::Figure12Bar &b = p.bars[i];
+        auto cols = [&](double v) {
+            return static_cast<int>(v / max_total * 60 + 0.5);
+        };
+        std::printf("  %-24s |%s%s%s\n", models[i].name().c_str(),
+                    std::string(cols(b.work), '#').c_str(),
+                    std::string(cols(b.dispatch), 'D').c_str(),
+                    std::string(cols(b.otherComm), 'C').c_str());
+    }
+}
+
+void
+printClaims(const ProgramBars &p)
+{
+    // Model order: 0 opt-reg, 1 opt-on, 2 opt-off, 3 bas-reg,
+    // 4 bas-on, 5 bas-off.
+    const tam::Figure12Bar &best = p.bars[0];
+    const tam::Figure12Bar &worst = p.bars[5];
+
+    double comm_best = best.dispatch + best.otherComm;
+    double comm_worst = worst.dispatch + worst.otherComm;
+
+    double sd_best = best.sending + best.dispatch;
+    double sd_worst = worst.sending + worst.dispatch;
+    std::cout << "\n  Claim A (opt register vs basic off-chip):\n"
+              << "    send+dispatch reduction: "
+              << sd_worst / sd_best
+              << "x (paper: \"as much as five fold\")\n"
+              << "    total communication reduction: "
+              << comm_worst / comm_best << "x\n"
+              << "    total execution cut:     "
+              << pct(1 - best.total() / worst.total())
+              << " (paper: ~40%)\n"
+              << "    comm share:              "
+              << pct(worst.commFraction()) << " -> "
+              << pct(best.commFraction())
+              << " (paper: 51% -> 17%)\n";
+
+    double slowest_opt = 0, fastest_basic = 1e300;
+    for (int i = 0; i < 3; ++i)
+        slowest_opt = std::max(slowest_opt, p.bars[i].total());
+    for (int i = 3; i < 6; ++i)
+        fastest_basic = std::min(fastest_basic, p.bars[i].total());
+    std::cout << "  Claim B: slowest optimized ("
+              << fmtK(slowest_opt) << ") "
+              << (slowest_opt < fastest_basic ? "beats" : "LOSES TO")
+              << " fastest basic (" << fmtK(fastest_basic) << ")\n";
+
+    double comm_off_opt = p.bars[2].dispatch + p.bars[2].otherComm;
+    std::cout << "  Claim D: optimized off-chip improves communication "
+              << comm_worst / comm_off_opt << "x over basic off-chip "
+              << "(paper: ~2x)\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned n = 100, particles = 16;
+    Cycles offchip = 2;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--n") && i + 1 < argc)
+            n = static_cast<unsigned>(std::atoi(argv[++i]));
+        else if (!std::strcmp(argv[i], "--particles") && i + 1 < argc)
+            particles = static_cast<unsigned>(std::atoi(argv[++i]));
+        else if (!std::strcmp(argv[i], "--offchip-delay") && i + 1 < argc)
+            offchip = static_cast<Cycles>(std::atoi(argv[++i]));
+    }
+
+    logging::quiet = true;
+
+    std::cout << "Figure 12 reproduction: dynamic cycle counts for "
+              << n << "x" << n << " Matrix Multiply and " << particles
+              << " Gamteb\nunder the six interface models (message "
+                 "costs measured from the Table-1 kernels).\n";
+
+    // Measure the six models' message costs once.
+    std::vector<tam::CommCosts> costs;
+    for (const ni::Model &m : ni::allModels())
+        costs.push_back(tam::measureCommCosts(m, offchip));
+
+    // Run the TAM programs once each (the TAM run is model-
+    // independent, exactly as in the paper's methodology).
+    std::fprintf(stderr, "running matrix multiply (%ux%u)...\n", n, n);
+    apps::MatMulResult mm = apps::runMatMul(n, 4);
+    if (!mm.verified)
+        fatal("matrix multiply failed verification");
+
+    std::fprintf(stderr, "running gamteb (%u particles)...\n",
+                 particles);
+    apps::GamtebResult gt = apps::runGamteb(particles);
+    if (!gt.conserved())
+        fatal("gamteb particle accounting failed");
+
+    ProgramBars mm_bars{"Matrix Multiply " + std::to_string(n) + "x" +
+                            std::to_string(n),
+                        mm.stats, {}};
+    ProgramBars gt_bars{"Gamteb " + std::to_string(particles),
+                        gt.stats, {}};
+    for (const tam::CommCosts &c : costs) {
+        mm_bars.bars.push_back(tam::expand(mm.stats, c));
+        gt_bars.bars.push_back(tam::expand(gt.stats, c));
+    }
+
+    std::cout << "\nMatrix Multiply: " << mm.stats.totalMessages()
+              << " messages, " << mm.stats.flops() << " flops ("
+              << mm.flopsPerMessage
+              << " flops/message; paper quotes ~3)\n";
+    std::cout << "Gamteb: " << gt.stats.totalMessages()
+              << " messages, " << gt.totalParticles << " particles ("
+              << gt.escaped << " escaped, " << gt.absorbed
+              << " absorbed, " << gt.pairProductions << " pairs, "
+              << gt.collisions << " collisions)\n";
+
+    printProgram(mm_bars);
+    printClaims(mm_bars);
+    printProgram(gt_bars);
+    printClaims(gt_bars);
+    return 0;
+}

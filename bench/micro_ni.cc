@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the message-handling hot paths:
+ * NI send/receive throughput, the full two-instruction remote-read
+ * server loop, and MsgIp computation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cpu/cpu.hh"
+#include "msg/kernels.hh"
+#include "msg/protocol.hh"
+#include "ni/network_interface.hh"
+#include "noc/network.hh"
+
+using namespace tcpni;
+
+namespace
+{
+
+void
+BM_NiSendReceive(benchmark::State &state)
+{
+    // NI-to-NI message throughput over the ideal network.
+    EventQueue eq;
+    IdealNetwork net("n", eq, 2, 1);
+    ni::NiConfig cfg;
+    cfg.inputQueueDepth = 1u << 20;
+    cfg.outputQueueDepth = 1u << 20;
+    ni::NetworkInterface ni0("ni0", eq, 0, net, cfg);
+    ni::NetworkInterface ni1("ni1", eq, 1, net, cfg);
+
+    ni0.writeReg(ni::regO0, globalWord(1, 0));
+    isa::NiCommand send;
+    send.mode = isa::SendMode::send;
+    send.type = 2;
+    isa::NiCommand next;
+    next.next = true;
+
+    for (auto _ : state) {
+        (void)_;
+        ni0.command(send);
+        eq.run();
+        ni1.command(next);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NiSendReceive);
+
+void
+BM_MsgIpComputation(benchmark::State &state)
+{
+    EventQueue eq;
+    IdealNetwork net("n", eq, 2, 1);
+    ni::NiConfig cfg;
+    ni::NetworkInterface ni1("ni1", eq, 1, net, cfg);
+    ni1.writeReg(ni::regIpBase, 0x4000);
+    for (auto _ : state) {
+        (void)_;
+        benchmark::DoNotOptimize(ni1.readReg(ni::regMsgIp));
+    }
+}
+BENCHMARK(BM_MsgIpComputation);
+
+void
+BM_TwoInstructionServerLoop(benchmark::State &state)
+{
+    // Simulated remote-read server throughput: messages served per
+    // host second through the full CPU+NI+kernel stack.
+    ni::Model model{ni::Placement::registerFile, true};
+    isa::Program prog = msg::assembleKernel(msg::handlerProgram(model));
+    const unsigned batch = 192;    // below the 8-bit iafull threshold
+
+    for (auto _ : state) {
+        (void)_;
+        EventQueue eq;
+        IdealNetwork net("n", eq, 2, 1);
+        ni::NiConfig cfg;
+        cfg.inputQueueDepth = 2 * batch;
+        cfg.outputQueueDepth = 2 * batch;
+        cfg.inputThreshold = 255;
+        cfg.outputThreshold = 255;
+        ni::NiConfig sink = cfg;
+        ni::NetworkInterface ni0("ni0", eq, 0, net, sink);
+        ni::NetworkInterface ni1("ni1", eq, 1, net, cfg);
+        Memory mem(1 << 20);
+        mem.write(0x2100, 7);
+        Cpu cpu("cpu", eq, mem, &ni1);
+        cpu.loadProgram(prog);
+
+        for (unsigned k = 0; k < batch; ++k) {
+            Message m;
+            m.words = {globalWord(1, 0x2100), globalWord(0, 0), 0, 0,
+                       0};
+            m.type = msg::typeRead;
+            m.setDestFromWord0();
+            ni1.acceptFromNetwork(m);
+        }
+        Message stop;
+        stop.words = {globalWord(1, 0), 0, 0, 0, 0};
+        stop.type = msg::typeStop;
+        stop.setDestFromWord0();
+        ni1.acceptFromNetwork(stop);
+
+        cpu.reset(prog.addrOf("entry"));
+        cpu.start();
+        eq.run();
+        benchmark::DoNotOptimize(cpu.instructions());
+    }
+    state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_TwoInstructionServerLoop);
+
+} // namespace
+
+BENCHMARK_MAIN();

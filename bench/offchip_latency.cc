@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Section 4.2.3's sensitivity claim (claim C): "Figure 12 assumes a
+ * two cycle latency for reads from the off-chip interface.  If,
+ * however, the latency is increased to 8 cycles instead of 2, then the
+ * communication costs of the off-chip optimized model will double.
+ * As a result, relegating the network interface off-chip will not
+ * remain a viable alternative for future generations of
+ * multiprocessors."
+ *
+ * This bench sweeps the off-chip load-use delay over {2, 4, 6, 8}
+ * cycles, re-measures the Table-1 kernels at each point, and expands
+ * the Matrix Multiply workload -- reporting the off-chip models'
+ * communication growth against the latency-immune register-mapped
+ * model.
+ *
+ * Flags:  --n N   matrix dimension (default 100)
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+
+#include "apps/matmul.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "tam/expand.hh"
+
+using namespace tcpni;
+
+int
+main(int argc, char **argv)
+{
+    unsigned n = 100;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--n") && i + 1 < argc)
+            n = static_cast<unsigned>(std::atoi(argv[++i]));
+    }
+
+    logging::quiet = true;
+
+    std::cout << "Off-chip read-latency sensitivity (Section 4.2.3), "
+              << n << "x" << n << " Matrix Multiply\n";
+
+    std::fprintf(stderr, "running matrix multiply...\n");
+    apps::MatMulResult mm = apps::runMatMul(n, 4);
+    if (!mm.verified)
+        fatal("matrix multiply failed verification");
+
+    const ni::Model off_opt{ni::Placement::offChipCache, true};
+    const ni::Model off_basic{ni::Placement::offChipCache, false};
+    const ni::Model reg_opt{ni::Placement::registerFile, true};
+
+    double base_comm_off = 0;
+
+    TextTable t;
+    t.header({"Off-chip delay", "Off-chip opt comm", "vs 2-cycle",
+              "Off-chip opt total", "Off-chip basic total",
+              "Register opt total"});
+    for (Cycles d : {2u, 4u, 6u, 8u}) {
+        std::fprintf(stderr, "  measuring kernels at delay %u...\n",
+                     static_cast<unsigned>(d));
+        tam::Figure12Bar off =
+            tam::expand(mm.stats, tam::measureCommCosts(off_opt, d));
+        tam::Figure12Bar offb =
+            tam::expand(mm.stats, tam::measureCommCosts(off_basic, d));
+        tam::Figure12Bar reg =
+            tam::expand(mm.stats, tam::measureCommCosts(reg_opt, d));
+
+        double comm = off.dispatch + off.otherComm;
+        if (d == 2)
+            base_comm_off = comm;
+
+        char growth[32];
+        std::snprintf(growth, sizeof(growth), "%.2fx",
+                      comm / base_comm_off);
+        auto fmt = [](double v) {
+            char b[32];
+            std::snprintf(b, sizeof(b), "%.2fM", v / 1e6);
+            return std::string(b);
+        };
+        t.row({std::to_string(d) + " cycles", fmt(comm), growth,
+               fmt(off.total()), fmt(offb.total()),
+               fmt(reg.total())});
+    }
+    t.print(std::cout);
+
+    std::cout
+        << "\nThe register-mapped column is latency-immune, while the "
+           "off-chip models keep\ngrowing with the read latency -- "
+           "the paper's conclusion that \"relegating the\nnetwork "
+           "interface off-chip will not remain a viable "
+           "alternative\".\n\nNote: the paper projects the off-chip "
+           "optimized communication to double at 8\ncycles; our "
+           "executed kernels hide part of the added latency behind "
+           "the\nNextMsgIp dispatch overlap (Section 2.2.3), so the "
+           "measured growth is smaller.\nSee EXPERIMENTS.md.\n";
+    return 0;
+}

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Fine-grain recursive Fibonacci on the TAM runtime.
+ *
+ * The classic fine-grain benchmark shape: every call is a fresh
+ * activation spawned with a Send message, and every result returns as
+ * a Send -- a pure argument/result-passing profile with no heap
+ * traffic, complementing Matrix Multiply (I-structure dominated) and
+ * Gamteb (mixed).  The paper notes its other programs "give similar
+ * results"; fib probes the Send/dispatch-dominated end of the space.
+ */
+
+#ifndef TCPNI_APPS_FIB_HH
+#define TCPNI_APPS_FIB_HH
+
+#include "tam/machine.hh"
+
+namespace tcpni
+{
+namespace apps
+{
+
+struct FibResult
+{
+    tam::TamStats stats;
+    uint64_t value = 0;         //!< fib(n)
+    uint64_t activations = 0;   //!< call-tree size
+    unsigned n = 0;
+};
+
+/** Compute fib(n) (fib(0) = fib(1) = 1) with one activation per
+ *  call. */
+FibResult runFib(unsigned n = 15, tam::MachineConfig cfg = {});
+
+} // namespace apps
+} // namespace tcpni
+
+#endif // TCPNI_APPS_FIB_HH

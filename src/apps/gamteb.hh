@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The paper's Gamteb workload: a Monte Carlo photon-transport
+ * simulation (the Id benchmark models photons traversing a carbon
+ * cylinder), hand-compiled to the TAM runtime.
+ *
+ * Each source particle is one code-block activation.  A photon
+ * repeatedly fetches cross-section data for its current energy group
+ * from an I-structure table (PRead messages), samples its next event
+ * with the deterministic RNG, and either escapes, is absorbed,
+ * Compton-scatters to a lower energy group, or -- at high energies --
+ * pair-produces two secondary photons (new activations, spawned with
+ * Send messages).  Tallies are kept in remote cells updated with
+ * Read/Write message pairs.
+ *
+ * "16 Gamteb" in Figure 12 is the 16-source-particle configuration.
+ */
+
+#ifndef TCPNI_APPS_GAMTEB_HH
+#define TCPNI_APPS_GAMTEB_HH
+
+#include "tam/machine.hh"
+
+namespace tcpni
+{
+namespace apps
+{
+
+struct GamtebResult
+{
+    tam::TamStats stats;
+
+    uint64_t sourceParticles = 0;
+    uint64_t totalParticles = 0;    //!< sources + pair-production secondaries
+    uint64_t escaped = 0;
+    uint64_t absorbed = 0;
+    uint64_t pairProductions = 0;
+    uint64_t collisions = 0;
+
+    /** Conservation: every particle ends exactly one way (escape,
+     *  absorption, or conversion into an electron-positron pair), and
+     *  each pair production added exactly two secondaries. */
+    bool
+    conserved() const
+    {
+        return escaped + absorbed + pairProductions == totalParticles &&
+               totalParticles == sourceParticles + 2 * pairProductions;
+    }
+};
+
+/** Run Gamteb with @p particles source particles (the paper uses 16). */
+GamtebResult runGamteb(unsigned particles = 16,
+                       tam::MachineConfig cfg = {});
+
+} // namespace apps
+} // namespace tcpni
+
+#endif // TCPNI_APPS_GAMTEB_HH

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * A synthetic ping-pong microworkload: two activations exchange
+ * 1-word Send messages for a configurable number of round trips.
+ * Its message profile is 100% Send traffic, making it a clean probe
+ * of pure dispatch + Send costs (and a simple first TAM program).
+ */
+
+#ifndef TCPNI_APPS_PINGPONG_HH
+#define TCPNI_APPS_PINGPONG_HH
+
+#include "tam/machine.hh"
+
+namespace tcpni
+{
+namespace apps
+{
+
+struct PingPongResult
+{
+    tam::TamStats stats;
+    uint64_t roundTrips = 0;
+    double finalValue = 0;      //!< value accumulated over the trips
+};
+
+/** Run @p round_trips ping-pong exchanges. */
+PingPongResult runPingPong(unsigned round_trips = 1000,
+                           tam::MachineConfig cfg = {});
+
+} // namespace apps
+} // namespace tcpni
+
+#endif // TCPNI_APPS_PINGPONG_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Bit-field extraction and insertion helpers.
+ *
+ * These mirror the helpers every hardware model needs when packing
+ * architectural state (status words, instruction encodings, NI command
+ * addresses) into fixed-width integers.  All bit positions are
+ * little-endian bit numbers: bit 0 is the least significant bit.
+ */
+
+#ifndef TCPNI_COMMON_BITFIELD_HH
+#define TCPNI_COMMON_BITFIELD_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace tcpni
+{
+
+/** Return a mask of @p nbits ones in the low bits. */
+constexpr uint64_t
+mask(unsigned nbits)
+{
+    return nbits >= 64 ? ~0ULL : (1ULL << nbits) - 1;
+}
+
+/** Extract bits [first, last] (inclusive, first >= last) of @p val. */
+constexpr uint64_t
+bits(uint64_t val, unsigned first, unsigned last)
+{
+    return (val >> last) & mask(first - last + 1);
+}
+
+/** Extract single bit @p pos of @p val. */
+constexpr uint64_t
+bits(uint64_t val, unsigned pos)
+{
+    return (val >> pos) & 1ULL;
+}
+
+/**
+ * Return @p val with bits [first, last] replaced by the low bits of
+ * @p bit_val.
+ */
+constexpr uint64_t
+insertBits(uint64_t val, unsigned first, unsigned last, uint64_t bit_val)
+{
+    uint64_t m = mask(first - last + 1);
+    return (val & ~(m << last)) | ((bit_val & m) << last);
+}
+
+/** Sign-extend the low @p nbits bits of @p val to 64 bits. */
+constexpr int64_t
+sext(uint64_t val, unsigned nbits)
+{
+    uint64_t sign = 1ULL << (nbits - 1);
+    uint64_t m = mask(nbits);
+    val &= m;
+    return static_cast<int64_t>((val ^ sign) - sign);
+}
+
+/** True if @p val fits in @p nbits as a signed two's-complement value. */
+constexpr bool
+fitsSigned(int64_t val, unsigned nbits)
+{
+    int64_t lo = -(1LL << (nbits - 1));
+    int64_t hi = (1LL << (nbits - 1)) - 1;
+    return val >= lo && val <= hi;
+}
+
+/** True if @p val fits in @p nbits as an unsigned value. */
+constexpr bool
+fitsUnsigned(uint64_t val, unsigned nbits)
+{
+    return val <= mask(nbits);
+}
+
+} // namespace tcpni
+
+#endif // TCPNI_COMMON_BITFIELD_HH

@@ -1,0 +1,87 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+
+namespace tcpni
+{
+
+namespace logging
+{
+
+bool throwOnError = true;
+bool quiet = false;
+
+std::string
+vformat(const char *fmt, va_list ap)
+{
+    va_list ap_copy;
+    va_copy(ap_copy, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap_copy);
+    va_end(ap_copy);
+    if (n < 0)
+        return std::string(fmt);
+    std::string buf(static_cast<size_t>(n) + 1, '\0');
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap);
+    buf.resize(static_cast<size_t>(n));
+    return buf;
+}
+
+void
+emit(const char *prefix, const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s\n", prefix, msg.c_str());
+}
+
+} // namespace logging
+
+void
+panic(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = logging::vformat(fmt, ap);
+    va_end(ap);
+    if (logging::throwOnError)
+        throw PanicError(msg);
+    logging::emit("panic", msg);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = logging::vformat(fmt, ap);
+    va_end(ap);
+    if (logging::throwOnError)
+        throw FatalError(msg);
+    logging::emit("fatal", msg);
+    std::exit(1);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (logging::quiet)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = logging::vformat(fmt, ap);
+    va_end(ap);
+    logging::emit("info", msg);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (logging::quiet)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = logging::vformat(fmt, ap);
+    va_end(ap);
+    logging::emit("warn", msg);
+}
+
+} // namespace tcpni

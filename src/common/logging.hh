@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers in the gem5 idiom.
+ *
+ * Two classes of terminating errors are distinguished:
+ *
+ *  - panic()  -- an internal invariant of the simulator has been violated;
+ *               this is a bug in tcpni itself.  Aborts (may dump core).
+ *  - fatal()  -- the simulation cannot continue because of a user error
+ *               (bad configuration, invalid arguments).  Exits with
+ *               status 1.
+ *
+ * Non-terminating messages:
+ *
+ *  - inform() -- normal operating status.
+ *  - warn()   -- something is probably not what the user intended, but
+ *               the simulation can continue.
+ */
+
+#ifndef TCPNI_COMMON_LOGGING_HH
+#define TCPNI_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tcpni
+{
+
+/** Exception thrown by panic()/fatal() when throw-mode is enabled. */
+class SimError : public std::runtime_error
+{
+  public:
+    explicit SimError(const std::string &what) : std::runtime_error(what) {}
+};
+
+/** Exception thrown by panic() when throw-mode is enabled. */
+class PanicError : public SimError
+{
+  public:
+    explicit PanicError(const std::string &what) : SimError(what) {}
+};
+
+/** Exception thrown by fatal() when throw-mode is enabled. */
+class FatalError : public SimError
+{
+  public:
+    explicit FatalError(const std::string &what) : SimError(what) {}
+};
+
+namespace logging
+{
+
+/**
+ * When true (the default, and always true under the test harness),
+ * panic() and fatal() throw PanicError/FatalError instead of terminating
+ * the process.  Tests rely on this to exercise error paths.
+ */
+extern bool throwOnError;
+
+/** When true, suppress inform()/warn() output (used by benchmarks). */
+extern bool quiet;
+
+/** Format a printf-style message into a std::string. */
+std::string vformat(const char *fmt, va_list ap);
+
+/** Emit a message with a severity prefix to stderr. */
+void emit(const char *prefix, const std::string &msg);
+
+} // namespace logging
+
+/** Report a simulator bug and terminate (or throw PanicError). */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report an unrecoverable user error and terminate (or throw). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report normal operating status. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Warn about suspicious but survivable conditions. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Assert a simulator invariant; on failure, panic with location info.
+ * Unlike assert(), this is active in all build types.
+ */
+#define tcpni_assert(cond, ...)                                             \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::tcpni::panic("assertion '%s' failed at %s:%d", #cond,         \
+                           __FILE__, __LINE__);                             \
+        }                                                                   \
+    } while (0)
+
+} // namespace tcpni
+
+#endif // TCPNI_COMMON_LOGGING_HH

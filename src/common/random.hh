@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic behaviour in the simulator (the Gamteb photon-transport
+ * workload, randomized traffic generators, property-test inputs) draws
+ * from this generator so that runs are reproducible from a seed.  The
+ * core is xoshiro128**, a small, fast, well-distributed 32-bit PRNG.
+ */
+
+#ifndef TCPNI_COMMON_RANDOM_HH
+#define TCPNI_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+namespace tcpni
+{
+
+/** A small deterministic PRNG (xoshiro128**). */
+class Random
+{
+  public:
+    /** Construct from a 64-bit seed; any seed (including 0) is valid. */
+    explicit Random(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Reseed the generator, restoring a deterministic stream. */
+    void seed(uint64_t seed);
+
+    /** Next raw 32-bit value. */
+    uint32_t next32();
+
+    /** Next raw 64-bit value. */
+    uint64_t next64();
+
+    /** Uniform integer in [lo, hi] inclusive; requires lo <= hi. */
+    uint32_t uniform(uint32_t lo, uint32_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniformDouble();
+
+    /** Exponentially distributed double with the given mean. */
+    double exponential(double mean);
+
+    /** Bernoulli trial: true with probability p. */
+    bool chance(double p);
+
+  private:
+    uint32_t s_[4];
+
+    static uint32_t rotl(uint32_t x, int k) {
+        return (x << k) | (x >> (32 - k));
+    }
+};
+
+} // namespace tcpni
+
+#endif // TCPNI_COMMON_RANDOM_HH

@@ -1,0 +1,171 @@
+#include "common/stats.hh"
+
+#include <cmath>
+#include <iomanip>
+
+#include "common/logging.hh"
+
+namespace tcpni
+{
+namespace stats
+{
+
+void
+Vector::resize(size_t size)
+{
+    if (size > values_.size())
+        values_.resize(size, 0);
+}
+
+int64_t &
+Vector::operator[](size_t i)
+{
+    if (i >= values_.size())
+        values_.resize(i + 1, 0);
+    return values_[i];
+}
+
+int64_t
+Vector::at(size_t i) const
+{
+    return i < values_.size() ? values_[i] : 0;
+}
+
+int64_t
+Vector::total() const
+{
+    int64_t sum = 0;
+    for (int64_t v : values_)
+        sum += v;
+    return sum;
+}
+
+void
+Vector::reset()
+{
+    for (int64_t &v : values_)
+        v = 0;
+}
+
+Distribution::Distribution(double lo, double hi, size_t nbuckets)
+    : lo_(lo), hi_(hi), buckets_(nbuckets, 0)
+{
+    tcpni_assert(hi > lo && nbuckets > 0);
+    bucketSize_ = (hi - lo) / static_cast<double>(nbuckets);
+}
+
+void
+Distribution::sample(double v, int64_t count)
+{
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        if (v < min_) min_ = v;
+        if (v > max_) max_ = v;
+    }
+    count_ += count;
+    sum_ += v * count;
+    squares_ += v * v * count;
+
+    if (v < lo_) {
+        underflow_ += count;
+    } else if (v >= hi_) {
+        overflow_ += count;
+    } else {
+        size_t idx = static_cast<size_t>((v - lo_) / bucketSize_);
+        if (idx >= buckets_.size())
+            idx = buckets_.size() - 1;
+        buckets_[idx] += count;
+    }
+}
+
+double
+Distribution::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double
+Distribution::stddev() const
+{
+    if (count_ < 2)
+        return 0.0;
+    double n = static_cast<double>(count_);
+    double var = (squares_ - sum_ * sum_ / n) / (n - 1);
+    return var > 0 ? std::sqrt(var) : 0.0;
+}
+
+void
+Distribution::reset()
+{
+    for (int64_t &b : buckets_)
+        b = 0;
+    underflow_ = overflow_ = count_ = 0;
+    sum_ = squares_ = min_ = max_ = 0;
+}
+
+void
+StatGroup::addScalar(const std::string &name, const Scalar *stat,
+                     const std::string &desc)
+{
+    entries_.push_back({name, {Entry::Kind::scalar, stat, desc}});
+}
+
+void
+StatGroup::addVector(const std::string &name, const Vector *stat,
+                     const std::string &desc)
+{
+    entries_.push_back({name, {Entry::Kind::vector, stat, desc}});
+}
+
+void
+StatGroup::addDistribution(const std::string &name, const Distribution *stat,
+                           const std::string &desc)
+{
+    entries_.push_back({name, {Entry::Kind::dist, stat, desc}});
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    auto line = [&](const std::string &stat_name, const std::string &value,
+                    const std::string &desc) {
+        os << std::left << std::setw(40) << (name_ + "." + stat_name)
+           << " " << std::right << std::setw(16) << value;
+        if (!desc.empty())
+            os << "  # " << desc;
+        os << '\n';
+    };
+
+    for (const auto &[stat_name, entry] : entries_) {
+        switch (entry.kind) {
+          case Entry::Kind::scalar: {
+            auto *s = static_cast<const Scalar *>(entry.stat);
+            line(stat_name, std::to_string(s->value()), entry.desc);
+            break;
+          }
+          case Entry::Kind::vector: {
+            auto *v = static_cast<const Vector *>(entry.stat);
+            for (size_t i = 0; i < v->size(); ++i) {
+                line(stat_name + "[" + std::to_string(i) + "]",
+                     std::to_string(v->at(i)), entry.desc);
+            }
+            line(stat_name + ".total", std::to_string(v->total()),
+                 entry.desc);
+            break;
+          }
+          case Entry::Kind::dist: {
+            auto *d = static_cast<const Distribution *>(entry.stat);
+            line(stat_name + ".count", std::to_string(d->count()),
+                 entry.desc);
+            std::ostringstream mean_ss;
+            mean_ss << std::fixed << std::setprecision(3) << d->mean();
+            line(stat_name + ".mean", mean_ss.str(), entry.desc);
+            break;
+          }
+        }
+    }
+}
+
+} // namespace stats
+} // namespace tcpni

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * A small statistics package in the spirit of gem5's stats framework.
+ *
+ * Simulation objects register named statistics in a StatGroup.  Scalar
+ * counts, per-bucket vectors, distributions, and derived formulas are
+ * supported, together with a text dump that the benchmark harnesses use
+ * to report results.
+ */
+
+#ifndef TCPNI_COMMON_STATS_HH
+#define TCPNI_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tcpni
+{
+namespace stats
+{
+
+/** A named scalar counter. */
+class Scalar
+{
+  public:
+    Scalar() = default;
+
+    Scalar &operator++() { ++value_; return *this; }
+    Scalar &operator+=(int64_t v) { value_ += v; return *this; }
+    Scalar &operator=(int64_t v) { value_ = v; return *this; }
+
+    int64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    int64_t value_ = 0;
+};
+
+/** A named vector of counters indexed by a small integer. */
+class Vector
+{
+  public:
+    explicit Vector(size_t size = 0) : values_(size, 0) {}
+
+    /** Grow (never shrink) to at least @p size buckets. */
+    void resize(size_t size);
+
+    int64_t &operator[](size_t i);
+    int64_t at(size_t i) const;
+    size_t size() const { return values_.size(); }
+    int64_t total() const;
+    void reset();
+
+  private:
+    std::vector<int64_t> values_;
+};
+
+/** A sampled distribution with mean/min/max/stddev and linear buckets. */
+class Distribution
+{
+  public:
+    /** Bucket samples into @p nbuckets buckets spanning [lo, hi). */
+    Distribution(double lo = 0, double hi = 100, size_t nbuckets = 10);
+
+    void sample(double v, int64_t count = 1);
+
+    int64_t count() const { return count_; }
+    double mean() const;
+    double stddev() const;
+    double min() const { return min_; }
+    double max() const { return max_; }
+    const std::vector<int64_t> &buckets() const { return buckets_; }
+    int64_t underflow() const { return underflow_; }
+    int64_t overflow() const { return overflow_; }
+    void reset();
+
+  private:
+    double lo_, hi_, bucketSize_;
+    std::vector<int64_t> buckets_;
+    int64_t underflow_ = 0, overflow_ = 0;
+    int64_t count_ = 0;
+    double sum_ = 0, squares_ = 0;
+    double min_ = 0, max_ = 0;
+};
+
+/**
+ * A group of named statistics that can be dumped as text.
+ *
+ * Ownership: the group stores pointers to statistics owned by the
+ * registering object; the object must outlive the group dump.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    void addScalar(const std::string &name, const Scalar *stat,
+                   const std::string &desc = "");
+    void addVector(const std::string &name, const Vector *stat,
+                   const std::string &desc = "");
+    void addDistribution(const std::string &name, const Distribution *stat,
+                         const std::string &desc = "");
+
+    const std::string &name() const { return name_; }
+
+    /** Write "group.stat value # desc" lines to @p os. */
+    void dump(std::ostream &os) const;
+
+  private:
+    struct Entry
+    {
+        enum class Kind { scalar, vector, dist } kind;
+        const void *stat;
+        std::string desc;
+    };
+
+    std::string name_;
+    std::vector<std::pair<std::string, Entry>> entries_;
+};
+
+} // namespace stats
+} // namespace tcpni
+
+#endif // TCPNI_COMMON_STATS_HH

@@ -1,0 +1,76 @@
+#include "common/table.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace tcpni
+{
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    tcpni_assert(header_.empty() || cells.size() == header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::separator()
+{
+    rows_.push_back({"\x01"});
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    size_t ncols = header_.size();
+    for (const auto &r : rows_) {
+        if (r.size() != 1 || r[0] != "\x01")
+            ncols = std::max(ncols, r.size());
+    }
+
+    std::vector<size_t> widths(ncols, 0);
+    auto measure = [&](const std::vector<std::string> &r) {
+        for (size_t i = 0; i < r.size(); ++i)
+            widths[i] = std::max(widths[i], r[i].size());
+    };
+    measure(header_);
+    for (const auto &r : rows_) {
+        if (r.size() == 1 && r[0] == "\x01")
+            continue;
+        measure(r);
+    }
+
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w + 3;
+
+    auto emit = [&](const std::vector<std::string> &r) {
+        for (size_t i = 0; i < ncols; ++i) {
+            std::string cell = i < r.size() ? r[i] : "";
+            os << cell << std::string(widths[i] - cell.size(), ' ');
+            if (i + 1 < ncols)
+                os << " | ";
+        }
+        os << '\n';
+    };
+
+    if (!header_.empty()) {
+        emit(header_);
+        os << std::string(total, '-') << '\n';
+    }
+    for (const auto &r : rows_) {
+        if (r.size() == 1 && r[0] == "\x01")
+            os << std::string(total, '-') << '\n';
+        else
+            emit(r);
+    }
+}
+
+} // namespace tcpni

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Plain-text table formatter used by the benchmark harnesses to print
+ * paper-style tables (Table 1, the Figure 12 component rows).
+ */
+
+#ifndef TCPNI_COMMON_TABLE_HH
+#define TCPNI_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tcpni
+{
+
+/** A simple column-aligned text table. */
+class TextTable
+{
+  public:
+    /** Set the header row; defines the column count. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row; must match the header column count. */
+    void row(std::vector<std::string> cells);
+
+    /** Append a horizontal separator line. */
+    void separator();
+
+    /** Render the table with aligned columns. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> header_;
+    // A row with the single sentinel cell "\x01" renders as a separator.
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace tcpni
+
+#endif // TCPNI_COMMON_TABLE_HH

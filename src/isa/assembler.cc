@@ -1,0 +1,816 @@
+#include "isa/assembler.hh"
+
+#include <cctype>
+#include <sstream>
+
+#include "common/bitfield.hh"
+#include "common/logging.hh"
+
+namespace tcpni
+{
+namespace isa
+{
+
+Addr
+Program::addrOf(const std::string &label) const
+{
+    auto it = symbols.find(label);
+    if (it == symbols.end())
+        fatal("undefined label '%s'", label.c_str());
+    return static_cast<Addr>(it->second);
+}
+
+uint16_t
+Program::regionId(const std::string &name) const
+{
+    for (size_t i = 0; i < regionNames.size(); ++i) {
+        if (regionNames[i] == name)
+            return static_cast<uint16_t>(i);
+    }
+    fatal("unknown region '%s'", name.c_str());
+    return 0;
+}
+
+namespace
+{
+
+/** Recursive-descent expression evaluator over the symbol table. */
+class ExprParser
+{
+  public:
+    ExprParser(const std::string &text,
+               const std::map<std::string, uint64_t> &symbols,
+               uint64_t cur_addr, unsigned line, bool allow_undefined)
+        : text_(text), symbols_(symbols), curAddr_(cur_addr), line_(line),
+          allowUndefined_(allow_undefined)
+    {}
+
+    /** Evaluate the whole string as one expression. */
+    uint64_t evaluate()
+    {
+        uint64_t v = parseOr();
+        skipWs();
+        if (pos_ != text_.size())
+            err("trailing characters in expression");
+        return v;
+    }
+
+    bool sawUndefined() const { return sawUndefined_; }
+
+  private:
+    [[noreturn]] void err(const std::string &what)
+    {
+        fatal("line %u: %s in expression '%s'", line_, what.c_str(),
+              text_.c_str());
+    }
+
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool eat(const char *tok)
+    {
+        skipWs();
+        size_t n = std::string(tok).size();
+        if (text_.compare(pos_, n, tok) == 0) {
+            // Don't let "<" match "<<" etc.
+            pos_ += n;
+            return true;
+        }
+        return false;
+    }
+
+    char peek()
+    {
+        skipWs();
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    uint64_t parseOr()
+    {
+        uint64_t v = parseXor();
+        for (;;) {
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == '|') {
+                ++pos_;
+                v |= parseXor();
+            } else {
+                return v;
+            }
+        }
+    }
+
+    uint64_t parseXor()
+    {
+        uint64_t v = parseAnd();
+        for (;;) {
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == '^') {
+                ++pos_;
+                v ^= parseAnd();
+            } else {
+                return v;
+            }
+        }
+    }
+
+    uint64_t parseAnd()
+    {
+        uint64_t v = parseShift();
+        for (;;) {
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == '&') {
+                ++pos_;
+                v &= parseShift();
+            } else {
+                return v;
+            }
+        }
+    }
+
+    uint64_t parseShift()
+    {
+        uint64_t v = parseAdd();
+        for (;;) {
+            if (eat("<<")) {
+                v <<= parseAdd();
+            } else if (eat(">>")) {
+                v >>= parseAdd();
+            } else {
+                return v;
+            }
+        }
+    }
+
+    uint64_t parseAdd()
+    {
+        uint64_t v = parseMul();
+        for (;;) {
+            skipWs();
+            char c = pos_ < text_.size() ? text_[pos_] : '\0';
+            if (c == '+') {
+                ++pos_;
+                v += parseMul();
+            } else if (c == '-') {
+                ++pos_;
+                v -= parseMul();
+            } else {
+                return v;
+            }
+        }
+    }
+
+    uint64_t parseMul()
+    {
+        uint64_t v = parseUnary();
+        for (;;) {
+            skipWs();
+            char c = pos_ < text_.size() ? text_[pos_] : '\0';
+            if (c == '*') {
+                ++pos_;
+                v *= parseUnary();
+            } else if (c == '/') {
+                ++pos_;
+                uint64_t d = parseUnary();
+                if (d == 0)
+                    err("division by zero");
+                v /= d;
+            } else if (c == '%') {
+                ++pos_;
+                uint64_t d = parseUnary();
+                if (d == 0)
+                    err("modulo by zero");
+                v %= d;
+            } else {
+                return v;
+            }
+        }
+    }
+
+    uint64_t parseUnary()
+    {
+        skipWs();
+        char c = peek();
+        if (c == '-') {
+            ++pos_;
+            return ~parseUnary() + 1;
+        }
+        if (c == '~') {
+            ++pos_;
+            return ~parseUnary();
+        }
+        if (c == '+') {
+            ++pos_;
+            return parseUnary();
+        }
+        return parsePrimary();
+    }
+
+    uint64_t parsePrimary()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            err("unexpected end");
+        char c = text_[pos_];
+
+        if (c == '(') {
+            ++pos_;
+            uint64_t v = parseOr();
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != ')')
+                err("missing ')'");
+            ++pos_;
+            return v;
+        }
+
+        if (c == '.') {
+            // '.' is the current address unless it starts an identifier.
+            ++pos_;
+            return curAddr_;
+        }
+
+        if (std::isdigit(static_cast<unsigned char>(c)))
+            return parseNumber();
+
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_')
+            return parseSymbolOrFunc();
+
+        err("unexpected character");
+    }
+
+    uint64_t parseNumber()
+    {
+        size_t start = pos_;
+        int base = 10;
+        if (text_[pos_] == '0' && pos_ + 1 < text_.size()) {
+            char n = text_[pos_ + 1];
+            if (n == 'x' || n == 'X') {
+                base = 16;
+                pos_ += 2;
+                start = pos_;
+            } else if (n == 'b' || n == 'B') {
+                base = 2;
+                pos_ += 2;
+                start = pos_;
+            }
+        }
+        uint64_t v = 0;
+        bool any = false;
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            int digit;
+            if (c >= '0' && c <= '9')
+                digit = c - '0';
+            else if (c >= 'a' && c <= 'f')
+                digit = c - 'a' + 10;
+            else if (c >= 'A' && c <= 'F')
+                digit = c - 'A' + 10;
+            else if (c == '_') {
+                ++pos_;
+                continue;
+            } else {
+                break;
+            }
+            if (digit >= base)
+                break;
+            v = v * static_cast<uint64_t>(base) +
+                static_cast<uint64_t>(digit);
+            any = true;
+            ++pos_;
+        }
+        if (!any && start == pos_ && base == 10)
+            err("bad number");
+        return v;
+    }
+
+    uint64_t parseSymbolOrFunc()
+    {
+        size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '_' || text_[pos_] == '.'))
+            ++pos_;
+        std::string name = text_.substr(start, pos_ - start);
+
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '(' &&
+            (name == "hi16" || name == "lo16")) {
+            ++pos_;
+            uint64_t v = parseOr();
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != ')')
+                err("missing ')' after " + name);
+            ++pos_;
+            return name == "hi16" ? (v >> 16) & 0xffff : v & 0xffff;
+        }
+
+        auto it = symbols_.find(name);
+        if (it == symbols_.end()) {
+            if (allowUndefined_) {
+                sawUndefined_ = true;
+                return 0;
+            }
+            err("undefined symbol '" + name + "'");
+        }
+        return it->second;
+    }
+
+    const std::string &text_;
+    const std::map<std::string, uint64_t> &symbols_;
+    uint64_t curAddr_;
+    unsigned line_;
+    bool allowUndefined_;
+    bool sawUndefined_ = false;
+    size_t pos_ = 0;
+};
+
+/** One parsed source statement. */
+struct Stmt
+{
+    unsigned line = 0;
+    std::string label;          //!< label defined on this line, if any
+    std::string mnemonic;       //!< lowercased, empty if label-only
+    std::vector<std::string> operands;  //!< comma-separated operand text
+    std::vector<std::string> clauses;   //!< "!" clauses (without '!')
+};
+
+std::string
+toLower(std::string s)
+{
+    for (char &c : s)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return s;
+}
+
+std::string
+trim(const std::string &s)
+{
+    size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+/** Split on top-level commas (respecting parentheses). */
+std::vector<std::string>
+splitOperands(const std::string &s)
+{
+    std::vector<std::string> out;
+    int depth = 0;
+    std::string cur;
+    for (char c : s) {
+        if (c == '(')
+            ++depth;
+        else if (c == ')')
+            --depth;
+        if (c == ',' && depth == 0) {
+            out.push_back(trim(cur));
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    std::string last = trim(cur);
+    if (!last.empty())
+        out.push_back(last);
+    return out;
+}
+
+std::vector<Stmt>
+parseLines(const std::string &source)
+{
+    std::vector<Stmt> stmts;
+    std::istringstream is(source);
+    std::string raw;
+    unsigned line_no = 0;
+    while (std::getline(is, raw)) {
+        ++line_no;
+        // Strip comments.
+        size_t p = raw.find(';');
+        if (p != std::string::npos)
+            raw.resize(p);
+        p = raw.find("//");
+        if (p != std::string::npos)
+            raw.resize(p);
+
+        std::string text = trim(raw);
+        if (text.empty())
+            continue;
+
+        Stmt stmt;
+        stmt.line = line_no;
+
+        // Labels: "name:" possibly followed by an instruction.
+        size_t colon = text.find(':');
+        if (colon != std::string::npos &&
+            text.find_first_of(" \t(") > colon) {
+            stmt.label = trim(text.substr(0, colon));
+            text = trim(text.substr(colon + 1));
+        }
+
+        if (!text.empty()) {
+            // "!" clauses at the end.
+            size_t bang = text.find('!');
+            std::string body = bang == std::string::npos
+                ? text : trim(text.substr(0, bang));
+            std::string clause_text = bang == std::string::npos
+                ? "" : text.substr(bang);
+            while (!clause_text.empty()) {
+                size_t next_bang = clause_text.find('!', 1);
+                std::string one = next_bang == std::string::npos
+                    ? clause_text : clause_text.substr(0, next_bang);
+                stmt.clauses.push_back(toLower(trim(one.substr(1))));
+                clause_text = next_bang == std::string::npos
+                    ? "" : clause_text.substr(next_bang);
+            }
+
+            size_t sp = body.find_first_of(" \t");
+            stmt.mnemonic = toLower(sp == std::string::npos
+                                    ? body : body.substr(0, sp));
+            if (sp != std::string::npos)
+                stmt.operands = splitOperands(trim(body.substr(sp)));
+        }
+        stmts.push_back(std::move(stmt));
+    }
+    return stmts;
+}
+
+/** Number of words a statement will occupy (pass 1 sizing). */
+size_t
+stmtSize(const Stmt &stmt,
+         const std::map<std::string, uint64_t> &symbols, uint64_t addr)
+{
+    const std::string &m = stmt.mnemonic;
+    if (m.empty() || m == ".org" || m == ".equ" || m == ".region")
+        return 0;
+    if (m == ".word")
+        return 1;
+    if (m == ".space") {
+        ExprParser ep(stmt.operands.at(0), symbols, addr, stmt.line, true);
+        return static_cast<size_t>(ep.evaluate());
+    }
+    if (m == ".align") {
+        ExprParser ep(stmt.operands.at(0), symbols, addr, stmt.line, true);
+        uint64_t align = ep.evaluate();
+        if (align == 0 || (align & 3))
+            fatal("line %u: .align must be a positive multiple of 4",
+                  stmt.line);
+        uint64_t next = (addr + align - 1) / align * align;
+        return static_cast<size_t>((next - addr) / 4);
+    }
+    if (m == "li")
+        return 2;
+    return 1;
+}
+
+struct Emitter
+{
+    Program &prog;
+    uint16_t curRegion = 0;
+    unsigned line = 0;
+
+    void word(Word w)
+    {
+        prog.words.push_back(w);
+        prog.regionOf.push_back(curRegion);
+        prog.lineOf.push_back(line);
+    }
+
+    void inst(const Instruction &i) { word(encode(i)); }
+};
+
+unsigned
+regOperand(const Stmt &stmt, size_t idx)
+{
+    if (idx >= stmt.operands.size())
+        fatal("line %u: missing register operand %zu for '%s'", stmt.line,
+              idx, stmt.mnemonic.c_str());
+    auto reg = parseRegName(toLower(stmt.operands[idx]));
+    if (!reg)
+        fatal("line %u: bad register name '%s'", stmt.line,
+              stmt.operands[idx].c_str());
+    return *reg;
+}
+
+uint64_t
+exprOperand(const Stmt &stmt, size_t idx,
+            const std::map<std::string, uint64_t> &symbols, uint64_t addr)
+{
+    if (idx >= stmt.operands.size())
+        fatal("line %u: missing operand %zu for '%s'", stmt.line, idx,
+              stmt.mnemonic.c_str());
+    ExprParser ep(stmt.operands[idx], symbols, addr, stmt.line, false);
+    return ep.evaluate();
+}
+
+NiCommand
+parseClauses(const Stmt &stmt)
+{
+    NiCommand ni;
+    for (const std::string &clause : stmt.clauses) {
+        if (clause == "next") {
+            ni.next = true;
+            continue;
+        }
+        size_t eq = clause.find('=');
+        std::string key = trim(eq == std::string::npos
+                               ? clause : clause.substr(0, eq));
+        if (key != "send" && key != "reply" && key != "forward")
+            fatal("line %u: unknown clause '!%s'", stmt.line,
+                  clause.c_str());
+        if (ni.mode != SendMode::none)
+            fatal("line %u: multiple send clauses", stmt.line);
+        if (key == "send")
+            ni.mode = SendMode::send;
+        else if (key == "reply")
+            ni.mode = SendMode::reply;
+        else
+            ni.mode = SendMode::forward;
+        if (eq != std::string::npos) {
+            std::string val = trim(clause.substr(eq + 1));
+            uint64_t t = 0;
+            for (char c : val) {
+                if (!std::isdigit(static_cast<unsigned char>(c)))
+                    fatal("line %u: bad send type '%s'", stmt.line,
+                          val.c_str());
+                t = t * 10 + static_cast<uint64_t>(c - '0');
+            }
+            if (t > 15)
+                fatal("line %u: send type %llu exceeds 4 bits", stmt.line,
+                      static_cast<unsigned long long>(t));
+            ni.type = static_cast<uint8_t>(t);
+        }
+    }
+    return ni;
+}
+
+int32_t
+branchOffset(uint64_t target, uint64_t pc, unsigned line)
+{
+    int64_t delta = static_cast<int64_t>(target) -
+                    static_cast<int64_t>(pc + 4);
+    if (delta & 3)
+        fatal("line %u: branch target not word aligned", line);
+    int64_t off = delta / 4;
+    if (!fitsSigned(off, 16))
+        fatal("line %u: branch target out of range", line);
+    return static_cast<int32_t>(off);
+}
+
+} // namespace
+
+Program
+assemble(const std::string &source,
+         const std::map<std::string, uint64_t> &predefined)
+{
+    std::vector<Stmt> stmts = parseLines(source);
+
+    Program prog;
+    prog.symbols = predefined;
+    prog.regionNames.push_back("");
+
+    // Pass 1: establish the base address, label addresses and .equ
+    // symbols.  .equ expressions may reference earlier labels only.
+    bool org_seen = false;
+    uint64_t addr = 0;
+    for (const Stmt &stmt : stmts) {
+        if (!stmt.label.empty()) {
+            if (prog.symbols.count(stmt.label))
+                fatal("line %u: symbol '%s' redefined", stmt.line,
+                      stmt.label.c_str());
+            prog.symbols[stmt.label] = addr;
+        }
+        if (stmt.mnemonic == ".org") {
+            if (org_seen)
+                fatal("line %u: multiple .org directives", stmt.line);
+            ExprParser ep(stmt.operands.at(0), prog.symbols, addr,
+                          stmt.line, false);
+            prog.base = static_cast<Addr>(ep.evaluate());
+            if (prog.base & 3)
+                fatal("line %u: .org address must be word aligned",
+                      stmt.line);
+            addr = prog.base;
+            org_seen = true;
+            // Re-bind any label that appeared on this same line.
+            if (!stmt.label.empty())
+                prog.symbols[stmt.label] = addr;
+            continue;
+        }
+        if (stmt.mnemonic == ".equ") {
+            if (stmt.operands.size() != 2)
+                fatal("line %u: .equ needs NAME, EXPR", stmt.line);
+            std::string name = trim(stmt.operands[0]);
+            ExprParser ep(stmt.operands[1], prog.symbols, addr, stmt.line,
+                          true);
+            uint64_t v = ep.evaluate();
+            if (ep.sawUndefined())
+                fatal("line %u: .equ '%s' references undefined symbol",
+                      stmt.line, name.c_str());
+            if (prog.symbols.count(name))
+                fatal("line %u: symbol '%s' redefined", stmt.line,
+                      name.c_str());
+            prog.symbols[name] = v;
+            continue;
+        }
+        addr += 4 * stmtSize(stmt, prog.symbols, addr);
+    }
+
+    if (!org_seen)
+        prog.base = 0;
+
+    // Pass 2: emit.
+    Emitter em{prog};
+    addr = prog.base;
+    for (const Stmt &stmt : stmts) {
+        em.line = stmt.line;
+        const std::string &m = stmt.mnemonic;
+        if (m.empty() || m == ".org" || m == ".equ")
+            continue;
+
+        auto expr = [&](size_t idx) {
+            return exprOperand(stmt, idx, prog.symbols, addr);
+        };
+        auto reg = [&](size_t idx) {
+            return static_cast<uint8_t>(regOperand(stmt, idx));
+        };
+        NiCommand ni = parseClauses(stmt);
+        auto no_ni = [&]() {
+            if (ni.any())
+                fatal("line %u: '!' clauses not allowed on '%s'",
+                      stmt.line, m.c_str());
+        };
+
+        if (m == ".region") {
+            no_ni();
+            std::string name = trim(stmt.operands.at(0));
+            uint16_t id = 0xffff;
+            for (size_t i = 0; i < prog.regionNames.size(); ++i) {
+                if (prog.regionNames[i] == name)
+                    id = static_cast<uint16_t>(i);
+            }
+            if (id == 0xffff) {
+                id = static_cast<uint16_t>(prog.regionNames.size());
+                prog.regionNames.push_back(name);
+            }
+            em.curRegion = id;
+            continue;
+        }
+        if (m == ".word") {
+            no_ni();
+            em.word(static_cast<Word>(expr(0)));
+            addr += 4;
+            continue;
+        }
+        if (m == ".space") {
+            no_ni();
+            uint64_t n = expr(0);
+            for (uint64_t i = 0; i < n; ++i)
+                em.word(0);
+            addr += 4 * n;
+            continue;
+        }
+        if (m == ".align") {
+            no_ni();
+            uint64_t align = expr(0);
+            while (addr % align != 0) {
+                em.word(0);
+                addr += 4;
+            }
+            continue;
+        }
+
+        Instruction inst;
+        inst.ni = ni;
+
+        auto triadic = [&](Opcode op) {
+            inst.op = op;
+            inst.rd = reg(0);
+            inst.rs1 = reg(1);
+            inst.rs2 = reg(2);
+        };
+        auto immform = [&](Opcode op) {
+            no_ni();
+            inst.op = op;
+            inst.rd = reg(0);
+            inst.rs1 = reg(1);
+            inst.imm = static_cast<int32_t>(expr(2));
+        };
+
+        if (m == "add") triadic(Opcode::add);
+        else if (m == "sub") triadic(Opcode::sub);
+        else if (m == "and") triadic(Opcode::and_);
+        else if (m == "or") triadic(Opcode::or_);
+        else if (m == "xor") triadic(Opcode::xor_);
+        else if (m == "sll") triadic(Opcode::sll);
+        else if (m == "srl") triadic(Opcode::srl);
+        else if (m == "sra") triadic(Opcode::sra);
+        else if (m == "slt") triadic(Opcode::slt);
+        else if (m == "sltu") triadic(Opcode::sltu);
+        else if (m == "mul") triadic(Opcode::mul);
+        else if (m == "ld") triadic(Opcode::ld);
+        else if (m == "st") triadic(Opcode::st);
+        else if (m == "addi") immform(Opcode::addi);
+        else if (m == "andi") immform(Opcode::andi);
+        else if (m == "ori") immform(Opcode::ori);
+        else if (m == "xori") immform(Opcode::xori);
+        else if (m == "ldi") immform(Opcode::ldi);
+        else if (m == "sti") immform(Opcode::sti);
+        else if (m == "slli") immform(Opcode::slli);
+        else if (m == "srli") immform(Opcode::srli);
+        else if (m == "lui") {
+            no_ni();
+            inst.op = Opcode::lui;
+            inst.rd = reg(0);
+            inst.imm = static_cast<int32_t>(expr(1) & 0xffff);
+        } else if (m == "jmp") {
+            inst.op = Opcode::jmp;
+            inst.rd = 0;
+            inst.rs1 = reg(0);
+        } else if (m == "jmpl") {
+            inst.op = Opcode::jmp;
+            inst.rd = reg(0);
+            inst.rs1 = reg(1);
+        } else if (m == "ret") {
+            inst.op = Opcode::jmp;
+            inst.rd = 0;
+            inst.rs1 = 31;
+        } else if (m == "beqz" || m == "bnez" || m == "bltz" ||
+                   m == "bgez") {
+            no_ni();
+            inst.op = m == "beqz" ? Opcode::beqz
+                    : m == "bnez" ? Opcode::bnez
+                    : m == "bltz" ? Opcode::bltz : Opcode::bgez;
+            inst.rs1 = reg(0);
+            inst.imm = branchOffset(expr(1), addr, stmt.line);
+        } else if (m == "br") {
+            no_ni();
+            inst.op = Opcode::br;
+            inst.rd = 0;
+            inst.imm = branchOffset(expr(0), addr, stmt.line);
+        } else if (m == "call") {
+            no_ni();
+            inst.op = Opcode::br;
+            inst.rd = 31;
+            inst.imm = branchOffset(expr(0), addr, stmt.line);
+        } else if (m == "nop") {
+            inst.op = Opcode::add;
+        } else if (m == "mov") {
+            inst.op = Opcode::add;
+            inst.rd = reg(0);
+            inst.rs1 = reg(1);
+        } else if (m == "send" || m == "reply" || m == "forward") {
+            // Standalone NI command: a nop carrying the command bits.
+            if (inst.ni.mode != SendMode::none)
+                fatal("line %u: send clause on a send pseudo-op",
+                      stmt.line);
+            inst.op = Opcode::add;
+            inst.ni.mode = m == "send" ? SendMode::send
+                         : m == "reply" ? SendMode::reply
+                         : SendMode::forward;
+            if (!stmt.operands.empty()) {
+                uint64_t t = expr(0);
+                if (t > 15)
+                    fatal("line %u: send type out of range", stmt.line);
+                inst.ni.type = static_cast<uint8_t>(t);
+            }
+        } else if (m == "next") {
+            inst.op = Opcode::add;
+            inst.ni.next = true;
+        } else if (m == "lis") {
+            no_ni();
+            inst.op = Opcode::addi;
+            inst.rd = reg(0);
+            inst.imm = static_cast<int32_t>(expr(1));
+        } else if (m == "li") {
+            no_ni();
+            uint8_t rd = reg(0);
+            uint32_t v = static_cast<uint32_t>(expr(1));
+            Instruction hi{Opcode::lui, rd, 0, 0,
+                           static_cast<int32_t>((v >> 16) & 0xffff), {}};
+            Instruction lo{Opcode::ori, rd, rd, 0,
+                           static_cast<int32_t>(v & 0xffff), {}};
+            em.inst(hi);
+            em.inst(lo);
+            addr += 8;
+            continue;
+        } else if (m == "halt") {
+            no_ni();
+            inst.op = Opcode::halt;
+        } else {
+            fatal("line %u: unknown mnemonic '%s'", stmt.line, m.c_str());
+        }
+
+        em.inst(inst);
+        addr += 4;
+    }
+
+    return prog;
+}
+
+} // namespace isa
+} // namespace tcpni

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * A two-pass assembler for the tcpni ISA.
+ *
+ * The paper's handler kernels are hand-written assembly; we keep them
+ * that way.  Kernels are C++ string literals assembled at run time into
+ * Program images which the CPU model executes.
+ *
+ * Supported syntax:
+ *
+ *   ; comment                         (also "//")
+ *   .org  EXPR                        set the load address
+ *   .equ  NAME, EXPR                  define a symbol
+ *   .word EXPR                        emit a literal data word
+ *   .space N                          emit N zero words
+ *   .align N                          pad to an N-byte boundary
+ *   .region NAME                      tag following words with a cost
+ *                                     region (used for per-phase cycle
+ *                                     attribution in Table 1)
+ *   label:
+ *   add   rd, rs1, rs2 [!send=T|!reply=T|!forward=T] [!next]
+ *   ldi   rd, rs1, EXPR
+ *   beqz  rs1, TARGET                 (TARGET is an address expression)
+ *   ...
+ *
+ * Pseudo-instructions: nop, mov, li (lui+ori, always 2 words), lis
+ * (addi from r0), br, call (br with link r31), ret (jmp r31),
+ * jmpl, send/reply/forward/next (nop carrying the NI command), halt.
+ *
+ * Registers: r0..r31 plus the NI aliases o0..o4 (r16..r20), i0..i4
+ * (r21..r25), status, control, msgip, nextmsgip, ipbase (r26..r30).
+ *
+ * Expressions support + - * / % | & ^ << >> ~ and parentheses, decimal
+ * / 0x / 0b literals, symbols, `.` (current address), and hi16()/lo16().
+ *
+ * Errors are reported via fatal() with the source line number.
+ */
+
+#ifndef TCPNI_ISA_ASSEMBLER_HH
+#define TCPNI_ISA_ASSEMBLER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hh"
+#include "sim/types.hh"
+
+namespace tcpni
+{
+namespace isa
+{
+
+/** An assembled program image. */
+struct Program
+{
+    Addr base = 0;                      //!< load address of words[0]
+    std::vector<Word> words;            //!< instruction/data words
+    std::map<std::string, uint64_t> symbols;    //!< labels and .equ
+    std::vector<uint16_t> regionOf;     //!< per-word region id
+    std::vector<std::string> regionNames;   //!< region id -> name
+    std::vector<unsigned> lineOf;       //!< per-word source line
+
+    /** Address of a label; fatal() if undefined. */
+    Addr addrOf(const std::string &label) const;
+
+    /** Region id for a name; fatal() if unknown. */
+    uint16_t regionId(const std::string &name) const;
+
+    /** Size in bytes. */
+    Addr sizeBytes() const { return static_cast<Addr>(words.size() * 4); }
+};
+
+/**
+ * Assemble @p source into a Program.
+ *
+ * @param source     assembly text
+ * @param predefined extra symbols visible to the program (e.g. NI
+ *                   command-address constants)
+ */
+Program assemble(const std::string &source,
+                 const std::map<std::string, uint64_t> &predefined = {});
+
+} // namespace isa
+} // namespace tcpni
+
+#endif // TCPNI_ISA_ASSEMBLER_HH

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * The 88100-flavoured RISC ISA used by the simulated processors.
+ *
+ * The paper hand-writes its handler kernels for the Motorola 88100.  We
+ * define a compact RISC ISA with the properties the evaluation depends
+ * on:
+ *
+ *  - triadic (three-register) instructions with spare encoding bits,
+ *    into which the network-interface commands (SEND with a 4-bit type
+ *    and a reply/forward mode, and NEXT) can be folded, exactly as
+ *    Section 3.3 of the paper proposes;
+ *  - delayed loads with an implementation-dependent load-use latency
+ *    (2 extra cycles for the off-chip interface, per Section 3.1);
+ *  - one branch delay slot, 88100 style.
+ *
+ * Instruction word layout (32 bits):
+ *
+ *   [31:26] opcode
+ *   [25:21] rd     (destination; for ST the value source; for branches
+ *                   unused)
+ *   [20:16] rs1
+ *
+ * Triadic format (register-register ALU ops, LD, ST, JMP):
+ *   [15:11] rs2
+ *   [10]    NEXT command
+ *   [9:8]   send mode (0 none, 1 SEND, 2 SEND-REPLY, 3 SEND-FORWARD)
+ *   [7:4]   send type (4-bit message type)
+ *   [3:0]   reserved (zero)
+ *
+ * Immediate format (ADDI .. STI, branches):
+ *   [15:0]  16-bit immediate (sign- or zero-extended per opcode)
+ *
+ * Registers: 32 GPRs, r0 hardwired to zero.  When the register-mapped
+ * network interface is attached, r16..r30 alias the interface
+ * registers (see NiReg).
+ */
+
+#ifndef TCPNI_ISA_ISA_HH
+#define TCPNI_ISA_ISA_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/bitfield.hh"
+#include "sim/types.hh"
+
+namespace tcpni
+{
+namespace isa
+{
+
+/** Number of general-purpose registers. */
+constexpr unsigned numRegs = 32;
+
+/** First GPR aliased to the NI register file (register-mapped NI). */
+constexpr unsigned niRegBase = 16;
+
+/** Opcodes. */
+enum class Opcode : uint8_t
+{
+    // Triadic register-register format (may carry NI commands).
+    add = 1,
+    sub = 2,
+    and_ = 3,
+    or_ = 4,
+    xor_ = 5,
+    sll = 6,
+    srl = 7,
+    sra = 8,
+    slt = 9,
+    sltu = 10,
+    mul = 11,
+    ld = 12,    //!< rd = mem[rs1 + rs2]
+    st = 13,    //!< mem[rs1 + rs2] = rd
+    jmp = 14,   //!< rd = pc + 8 (link), pc = rs1; 1 delay slot
+
+    // Immediate format.
+    addi = 16,  //!< rd = rs1 + sext(imm)
+    andi = 17,  //!< rd = rs1 & zext(imm)
+    ori = 18,   //!< rd = rs1 | zext(imm)
+    xori = 19,  //!< rd = rs1 ^ zext(imm)
+    lui = 20,   //!< rd = imm << 16
+    ldi = 21,   //!< rd = mem[rs1 + sext(imm)]
+    sti = 22,   //!< mem[rs1 + sext(imm)] = rd
+    slli = 23,  //!< rd = rs1 << imm[4:0]
+    srli = 24,  //!< rd = rs1 >> imm[4:0] (logical)
+
+    // Branches: target = pc + 4 + sext(imm)*4; 1 delay slot.
+    beqz = 32,
+    bnez = 33,
+    bltz = 34,
+    bgez = 35,
+    br = 36,    //!< unconditional; rd = link register (r0 if unused)
+
+    halt = 63,
+};
+
+/** SEND mode carried in the NI command field / command address. */
+enum class SendMode : uint8_t
+{
+    none = 0,
+    send = 1,       //!< plain SEND from o0..o4
+    reply = 2,      //!< SEND with i1,i2 substituted for o0,o1
+    forward = 3,    //!< SEND with i2,i3,i4 substituted for o2,o3,o4
+};
+
+/** NI commands optionally folded into a triadic instruction. */
+struct NiCommand
+{
+    SendMode mode = SendMode::none;
+    uint8_t type = 0;       //!< 4-bit message type for SEND
+    bool next = false;      //!< pop the next message into the input regs
+
+    bool any() const { return mode != SendMode::none || next; }
+
+    bool operator==(const NiCommand &) const = default;
+};
+
+/** A decoded instruction. */
+struct Instruction
+{
+    Opcode op = Opcode::add;
+    uint8_t rd = 0;
+    uint8_t rs1 = 0;
+    uint8_t rs2 = 0;
+    int32_t imm = 0;        //!< already extended per opcode
+    NiCommand ni;
+
+    bool operator==(const Instruction &) const = default;
+};
+
+/** True for opcodes using the triadic register-register format. */
+bool isTriadic(Opcode op);
+
+/** True for branch opcodes (which have a delay slot). */
+bool isBranch(Opcode op);
+
+/** True if this opcode reads rs1 / rs2 / rd-as-source. */
+bool readsRs1(Opcode op);
+bool readsRs2(Opcode op);
+bool readsRdAsSource(Opcode op);
+
+/** True if the opcode writes rd. */
+bool writesRd(Opcode op);
+
+/** True if the immediate is sign-extended (vs zero-extended). */
+bool immIsSigned(Opcode op);
+
+/** Encode a decoded instruction into a 32-bit word.  Panics if the
+ *  instruction cannot be represented (e.g. immediate out of range, or
+ *  NI commands on a non-triadic opcode). */
+Word encode(const Instruction &inst);
+
+/** Decode a 32-bit word.  Unknown opcodes panic. */
+Instruction decode(Word w);
+
+/** Mnemonic for an opcode. */
+std::string opcodeName(Opcode op);
+
+/** Render an instruction as assembly text (for tracing/tests). */
+std::string disassemble(const Instruction &inst);
+
+/** Canonical register name (rN, or the NI alias where one exists). */
+std::string regName(unsigned reg);
+
+/** Parse a register name ("r5", "i0", "o3", "status", ...). */
+std::optional<unsigned> parseRegName(const std::string &name);
+
+} // namespace isa
+} // namespace tcpni
+
+#endif // TCPNI_ISA_ISA_HH

@@ -1,0 +1,85 @@
+#include "mem/istruct_memory.hh"
+
+#include "common/logging.hh"
+
+namespace tcpni
+{
+
+IStructMemory::IStructMemory(size_t nelems)
+    : elems_(nelems)
+{
+}
+
+const IStructMemory::Elem &
+IStructMemory::at(size_t idx) const
+{
+    if (idx >= elems_.size())
+        panic("I-structure index %zu out of range (size %zu)", idx,
+              elems_.size());
+    return elems_[idx];
+}
+
+IStructMemory::Elem &
+IStructMemory::at(size_t idx)
+{
+    return const_cast<Elem &>(
+        static_cast<const IStructMemory *>(this)->at(idx));
+}
+
+Presence
+IStructMemory::state(size_t idx) const
+{
+    return at(idx).state;
+}
+
+IReadResult
+IStructMemory::read(size_t idx, Word fp, Word ip)
+{
+    Elem &e = at(idx);
+    if (e.state == Presence::full)
+        return {true, e.value};
+    e.waiters.push_back({fp, ip});
+    e.state = Presence::deferred;
+    return {false, 0};
+}
+
+IWriteResult
+IStructMemory::write(size_t idx, Word value)
+{
+    Elem &e = at(idx);
+    if (e.state == Presence::full)
+        panic("I-structure element %zu written twice", idx);
+    IWriteResult result;
+    result.readers = std::move(e.waiters);
+    e.waiters.clear();
+    e.state = Presence::full;
+    e.value = value;
+    return result;
+}
+
+Word
+IStructMemory::peek(size_t idx) const
+{
+    const Elem &e = at(idx);
+    if (e.state != Presence::full)
+        panic("peek of non-full I-structure element %zu", idx);
+    return e.value;
+}
+
+size_t
+IStructMemory::deferredCount(size_t idx) const
+{
+    return at(idx).waiters.size();
+}
+
+void
+IStructMemory::clear()
+{
+    for (Elem &e : elems_) {
+        e.state = Presence::empty;
+        e.value = 0;
+        e.waiters.clear();
+    }
+}
+
+} // namespace tcpni

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * I-structure memory: array storage with per-element presence bits.
+ *
+ * I-structures (Arvind, Nikhil & Pingali, TOPLAS 1989) give every array
+ * element a presence state:
+ *
+ *  - EMPTY    -- not yet written; a read must defer.
+ *  - FULL     -- written; reads return the value immediately.
+ *  - DEFERRED -- not yet written, and one or more readers are waiting;
+ *               their continuations are chained in a deferred list.
+ *
+ * The paper's PRead / PWrite messages operate on exactly this storage:
+ * a PRead of a FULL element replies right away; of an EMPTY/DEFERRED
+ * element it appends the reader's continuation (FP, IP) to the deferred
+ * list; a PWrite of an element with deferred readers forwards the value
+ * to each of the n waiting readers (Table 1's "PWrite (deferred)"
+ * 15+6n-style rows).
+ *
+ * This class is the functional model used by the TAM interpreter and
+ * the protocol tests.  The cycle-accurate path goes through the same
+ * layout in simulated Memory (see msg/kernels.hh) so that handler
+ * assembly can walk the deferred lists itself.
+ */
+
+#ifndef TCPNI_MEM_ISTRUCT_MEMORY_HH
+#define TCPNI_MEM_ISTRUCT_MEMORY_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace tcpni
+{
+
+/** Presence state of an I-structure element. */
+enum class Presence : uint8_t
+{
+    empty = 0,
+    full = 1,
+    deferred = 2,
+};
+
+/** A reader continuation waiting on an empty element. */
+struct DeferredReader
+{
+    Word fp;    //!< frame pointer of the thread awaiting the value
+    Word ip;    //!< instruction pointer of that thread's inlet
+};
+
+/** Result of an I-structure read attempt. */
+struct IReadResult
+{
+    bool full;      //!< true if the value was present
+    Word value;     //!< valid when full
+};
+
+/** Result of an I-structure write. */
+struct IWriteResult
+{
+    /** Readers that were waiting and must now be sent the value. */
+    std::vector<DeferredReader> readers;
+};
+
+/** A region of I-structure storage with presence bits. */
+class IStructMemory
+{
+  public:
+    /** Create storage for @p nelems elements, all EMPTY. */
+    explicit IStructMemory(size_t nelems);
+
+    size_t size() const { return elems_.size(); }
+
+    Presence state(size_t idx) const;
+
+    /**
+     * Attempt to read element @p idx.  If FULL, returns the value.
+     * Otherwise appends (fp, ip) to the deferred list and the element
+     * becomes DEFERRED.
+     */
+    IReadResult read(size_t idx, Word fp, Word ip);
+
+    /**
+     * Write element @p idx.  Writing a FULL element violates the
+     * single-assignment rule and panics (the paper's model treats it as
+     * a program error).  Returns the deferred readers to notify, in
+     * arrival order.
+     */
+    IWriteResult write(size_t idx, Word value);
+
+    /** Read a FULL element's value without a continuation (test use). */
+    Word peek(size_t idx) const;
+
+    /** Number of deferred readers currently waiting on @p idx. */
+    size_t deferredCount(size_t idx) const;
+
+    /** Reset every element to EMPTY. */
+    void clear();
+
+  private:
+    struct Elem
+    {
+        Presence state = Presence::empty;
+        Word value = 0;
+        std::vector<DeferredReader> waiters;
+    };
+
+    const Elem &at(size_t idx) const;
+    Elem &at(size_t idx);
+
+    std::vector<Elem> elems_;
+};
+
+} // namespace tcpni
+
+#endif // TCPNI_MEM_ISTRUCT_MEMORY_HH

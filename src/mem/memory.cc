@@ -1,0 +1,44 @@
+#include "mem/memory.hh"
+
+#include "common/logging.hh"
+
+namespace tcpni
+{
+
+Memory::Memory(Addr size_bytes)
+    : words_((size_bytes + 3) / 4, 0)
+{
+}
+
+void
+Memory::check(Addr addr) const
+{
+    if (addr & 3)
+        panic("unaligned word access at 0x%08x", addr);
+    if (addr / 4 >= words_.size())
+        panic("memory access out of bounds at 0x%08x (size 0x%08x)",
+              addr, size());
+}
+
+Word
+Memory::read(Addr addr) const
+{
+    check(addr);
+    return words_[addr / 4];
+}
+
+void
+Memory::write(Addr addr, Word value)
+{
+    check(addr);
+    words_[addr / 4] = value;
+}
+
+void
+Memory::clear()
+{
+    for (Word &w : words_)
+        w = 0;
+}
+
+} // namespace tcpni

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * A node's local memory.
+ *
+ * Memory is byte-addressed but only word (32-bit) accesses are
+ * supported, matching the RISC load/store model the paper's handlers
+ * use.  Addresses must be word aligned.
+ */
+
+#ifndef TCPNI_MEM_MEMORY_HH
+#define TCPNI_MEM_MEMORY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace tcpni
+{
+
+/** Word-access local memory of one node. */
+class Memory
+{
+  public:
+    /** Create a memory of @p size_bytes bytes (rounded up to a word). */
+    explicit Memory(Addr size_bytes);
+
+    /** Read the word at byte address @p addr (must be aligned). */
+    Word read(Addr addr) const;
+
+    /** Write the word at byte address @p addr (must be aligned). */
+    void write(Addr addr, Word value);
+
+    /** Memory size in bytes. */
+    Addr size() const { return static_cast<Addr>(words_.size() * 4); }
+
+    /** Zero all of memory. */
+    void clear();
+
+  private:
+    void check(Addr addr) const;
+
+    std::vector<Word> words_;
+};
+
+} // namespace tcpni
+
+#endif // TCPNI_MEM_MEMORY_HH

@@ -1,0 +1,1170 @@
+#include "msg/kernels.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "msg/protocol.hh"
+#include "ni/ni_regs.hh"
+
+namespace tcpni
+{
+namespace msg
+{
+
+std::string
+kindName(Kind k)
+{
+    switch (k) {
+      case Kind::send0: return "Send (0 words)";
+      case Kind::send1: return "Send (1 word)";
+      case Kind::send2: return "Send (2 words)";
+      case Kind::read: return "Read";
+      case Kind::write: return "Write";
+      case Kind::pread: return "PRead";
+      case Kind::pwrite: return "PWrite";
+    }
+    return "?";
+}
+
+unsigned
+basicId(Kind k)
+{
+    // The basic models dispatch on the 32-bit id in word 4.  Ids of
+    // the shared request types coincide with the optimized 4-bit type
+    // codes; the Send variants get ids of their own since the basic
+    // table has no word-1 indirection.
+    switch (k) {
+      case Kind::send0: return 0;
+      case Kind::send1: return 7;
+      case Kind::send2: return 8;
+      case Kind::read: return typeRead;
+      case Kind::write: return typeWrite;
+      case Kind::pread: return typePRead;
+      case Kind::pwrite: return typePWrite;
+    }
+    return 0;
+}
+
+unsigned
+directlyComputableWords(Kind k)
+{
+    // How many message values a compiler could compute straight into
+    // the output registers (register-mapped models), giving the lower
+    // bound of the paper's sending-cost ranges.
+    switch (k) {
+      case Kind::send0: return 0;
+      case Kind::send1: return 1;
+      case Kind::send2: return 2;
+      case Kind::read: return 1;
+      case Kind::write: return 2;
+      case Kind::pread: return 2;
+      case Kind::pwrite: return 3;
+    }
+    return 0;
+}
+
+std::map<std::string, uint64_t>
+kernelSymbols()
+{
+    auto syms = ni::asmSymbols();
+    for (const auto &[k, v] : protoSymbols())
+        syms[k] = v;
+    return syms;
+}
+
+isa::Program
+assembleKernel(const std::string &src)
+{
+    return isa::assemble(src, kernelSymbols());
+}
+
+namespace
+{
+
+/** Pad to the next dispatch-table slot. */
+const char *slotAlign = "    .align HANDLER_STRIDE\n";
+
+/**
+ * The optimized register-mapped handler set.  Handlers live in the
+ * MsgIp dispatch table; every handler ends with `jmp nextmsgip` whose
+ * delay slot holds the final processing instruction (the Section-2.2.3
+ * overlap), so dispatch costs a single cycle.
+ */
+std::string
+regOptHandlers()
+{
+    std::ostringstream os;
+    os << R"(
+    ; ------ optimized register-mapped handler table ------
+    .org 0x4000
+
+    ; slot 0: poll/idle -- spin on MsgIp until a message dispatches.
+    .region dispatching
+poll:
+    jmp  msgip
+    nop
+)" << slotAlign << R"(
+    ; slot 1: exception handler.
+    .region exception
+exc:
+    halt
+)" << slotAlign << R"(
+    ; slot 2: READ -- the paper's two-instruction remote read.
+    .region dispatching
+h_read:
+    jmp  nextmsgip
+    .region processing
+    ld   o2, i0, r0 !reply=0 !next
+)" << slotAlign << R"(
+    ; slot 3: WRITE.
+    .region dispatching
+h_write:
+    jmp  nextmsgip
+    .region processing
+    st   i1, i0, r0 !next
+)" << slotAlign << R"(
+    ; slot 4: PREAD.  i0 = element, i1 = FP, i2 = IP.
+    .region processing
+h_pread:
+    ld   r5, i0, r0            ; tag
+    ld   r6, i0, r4            ; value / deferred-list head
+    addi r7, r5, -TAG_FULL
+    bnez r7, pread_slow
+    add  o2, r6, r0            ; delay: value into o2 (harmless if slow)
+    ; FULL: reply (i1,i2 head the message via REPLY mode).
+    .region dispatching
+    jmp  nextmsgip
+    .region processing
+    reply 0 !next
+pread_slow:
+    ; EMPTY or DEFERRED: append this reader to the deferred list.
+    ldi  r8, r0, ALLOC_PTR
+    addi r7, r8, DN_SIZE
+    sti  r7, r0, ALLOC_PTR
+    st   i1, r8, r0            ; node.fp
+    bnez r5, pread_defer
+    sti  i2, r8, DN_IP         ; delay: node.ip
+    sti  r0, r8, DN_NEXT       ; EMPTY: list ends here
+    br   pread_link
+    nop
+pread_defer:
+    sti  r6, r8, DN_NEXT       ; DEFERRED: chain the old head
+pread_link:
+    sti  r8, i0, IS_VALUE
+    addi r7, r0, TAG_DEFERRED
+    .region dispatching
+    jmp  nextmsgip
+    .region processing
+    st   r7, i0, r0 !next
+)" << slotAlign << R"(
+    ; slot 5: PWRITE.  i0 = element, i1 = ack word, i2 = value.
+    .region processing
+h_pwrite:
+    ld   r5, i0, r0            ; tag
+    ld   r6, i0, r4            ; deferred-list head (if any)
+    st   i2, i0, r4            ; value
+    addi r7, r0, TAG_FULL
+    st   r7, i0, r0            ; tag = FULL
+    beqz i1, pwrite_chk
+    add  o0, i1, r0            ; delay: ack destination (harmless)
+    send T_ACK
+pwrite_chk:
+    addi r7, r5, -TAG_DEFERRED
+    bnez r7, pwrite_done
+    nop
+pwrite_loop:
+    ; Forward the value to each deferred reader.  FORWARD mode takes
+    ; the value straight from i2 (Section 2.2.2).
+    ldi  o0, r6, DN_FP
+    ldi  o1, r6, DN_IP
+    forward 0
+    ldi  r6, r6, DN_NEXT
+    bnez r6, pwrite_loop
+    nop
+pwrite_done:
+    .region dispatching
+    jmp  nextmsgip
+    .region processing
+    next
+)" << slotAlign << R"(
+    ; slot 6: ACK -- decrement the addressed completion counter.
+    .region processing
+h_ack:
+    ld   r5, i0, r0
+    addi r5, r5, -1
+    .region dispatching
+    jmp  nextmsgip
+    .region processing
+    st   r5, i0, r0 !next
+)" << slotAlign;
+
+    // Slots 7..13: unassigned types halt loudly.
+    for (int s = 7; s <= 13; ++s)
+        os << "    halt\n" << slotAlign;
+
+    os << R"(
+    ; slot 14: the ESCAPE type (Section 2.2.1): messages whose real
+    ; identifier does not fit in four bits carry it in word 4; the
+    ; escape handler dispatches through a software table, exactly the
+    ; way the basic architecture dispatches everything.
+    .region dispatching
+h_escape:
+    slli r5, i4, 2
+    ld   r6, r13, r5           ; r13 = escape table base (setup)
+    jmp  r6
+    nop
+)" << slotAlign << R"(
+    ; slot 15: STOP -- the harness halts the server.
+h_stop:
+    halt
+)" << slotAlign << R"(
+    ; ------ escape-dispatched handlers (identifiers >= 16) ------
+    ; id 0 in the escape table: store word 2 at the address in word 1.
+    .region processing
+h_esc_poke:
+    st   i2, i1, r0 !next
+    .region dispatching
+    jmp  nextmsgip
+    nop
+
+    ; ------ type-0 (Send) inlets, dispatched through word 1 ------
+    .region dispatching
+h_send0:
+    jmp  nextmsgip
+    .region processing
+    add  r9, i0, r0 !next      ; frame pointer into the thread register
+
+    .region processing
+h_send1:
+    add  r9, i0, r0
+    .region dispatching
+    jmp  nextmsgip
+    .region processing
+    st   i2, r9, r0 !next      ; data word 0 into the frame
+
+    .region processing
+h_send2:
+    add  r9, i0, r0
+    st   i2, r9, r0
+    .region dispatching
+    jmp  nextmsgip
+    .region processing
+    st   i3, r9, r4 !next      ; data word 1
+
+    ; ------ entry ------
+    .region setup
+entry:
+    li   ipbase, 0x4000
+    addi r4, r0, 4
+    ; escape dispatch table: one entry so far
+    li   r13, ESC_TABLE
+    li   r2, h_esc_poke
+    sti  r2, r13, 0
+    br   poll
+    nop
+)";
+    return os.str();
+}
+
+/**
+ * The optimized cache-mapped handler set (on- and off-chip share the
+ * code; only the access latency differs).  Canonical schedule: the
+ * NextMsgIp load is hoisted to the top of each handler so the off-chip
+ * latency overlaps with processing; NEXT is folded into the handler's
+ * final NI access; the jmp delay slot holds a processing instruction.
+ */
+std::string
+cacheOptHandlers()
+{
+    std::ostringstream os;
+    os << R"(
+    ; ------ optimized cache-mapped handler table ------
+    ; r10 = NI_BASE, r11 = reply-store offset, r4 = 4, r15 = target
+    .org 0x4000
+
+    .region dispatching
+poll:
+    ldi  r15, r10, NI_MSGIP
+    jmp  r15
+    nop
+)" << slotAlign << R"(
+    .region exception
+exc:
+    halt
+)" << slotAlign << R"(
+    ; slot 2: READ.
+    .region dispatching
+h_read:
+    ldi  r15, r10, NI_NEXTMSGIP
+    .region processing
+    ldi  r5, r10, NI_I0        ; requested address
+    ld   r6, r5, r0            ; value
+    .region dispatching
+    jmp  r15
+    .region processing
+    st   r6, r10, r11          ; o2 + SEND-reply + NEXT (Figure 9)
+)" << slotAlign << R"(
+    ; slot 3: WRITE.
+    .region dispatching
+h_write:
+    ldi  r15, r10, NI_NEXTMSGIP
+    .region processing
+    ldi  r5, r10, NI_I0        ; address
+    ldi  r6, r10, NI_I1 | NI_NEXT  ; value, then advance
+    .region dispatching
+    jmp  r15
+    .region processing
+    st   r6, r5, r0
+)" << slotAlign << R"(
+    ; slot 4: PREAD.
+    .region dispatching
+h_pread:
+    ldi  r15, r10, NI_NEXTMSGIP
+    .region processing
+    ldi  r5, r10, NI_I0        ; element
+    ldi  r7, r10, NI_I1        ; FP
+    ldi  r8, r10, NI_I2        ; IP
+    ld   r6, r5, r0            ; tag
+    ld   r9, r5, r4            ; value / head
+    addi r2, r6, -TAG_FULL
+    bnez r2, cpread_slow
+    nop
+    .region dispatching
+    jmp  r15
+    .region processing
+    st   r9, r10, r11          ; value -> o2 + SEND-reply + NEXT
+cpread_slow:
+    ldi  r2, r0, ALLOC_PTR
+    addi r3, r2, DN_SIZE
+    sti  r3, r0, ALLOC_PTR
+    sti  r7, r2, DN_FP
+    bnez r6, cpread_defer
+    sti  r8, r2, DN_IP         ; delay
+    sti  r0, r2, DN_NEXT
+    br   cpread_link
+    nop
+cpread_defer:
+    sti  r9, r2, DN_NEXT
+cpread_link:
+    sti  r2, r5, IS_VALUE
+    addi r3, r0, TAG_DEFERRED
+    sti  r3, r5, IS_TAG
+    .region dispatching
+    jmp  r15
+    .region processing
+    ldi  r0, r10, NI_NEXT      ; NEXT-only command access
+)" << slotAlign << R"(
+    ; slot 5: PWRITE.
+    .region dispatching
+h_pwrite:
+    ldi  r15, r10, NI_NEXTMSGIP
+    .region processing
+    ldi  r5, r10, NI_I0        ; element
+    ldi  r7, r10, NI_I1        ; ack word
+    ldi  r8, r10, NI_I2        ; value
+    ld   r6, r5, r4            ; old head
+    ld   r2, r5, r0            ; tag
+    sti  r8, r5, IS_VALUE
+    addi r3, r0, TAG_FULL
+    sti  r3, r5, IS_TAG
+    beqz r7, cpwrite_chk
+    sti  r7, r10, NI_O0        ; delay: ack destination
+    ldi  r0, r10, NI_SEND | NI_TYPE*T_ACK
+cpwrite_chk:
+    addi r3, r2, -TAG_DEFERRED
+    bnez r3, cpwrite_done
+    nop
+cpwrite_loop:
+    ; FORWARD mode supplies the value from i2; one explicit SEND
+    ; access per forwarded reader.
+    ldi  r2, r6, DN_FP
+    ldi  r3, r6, DN_IP
+    sti  r2, r10, NI_O0
+    sti  r3, r10, NI_O1
+    ldi  r0, r10, NI_FWD
+    ldi  r6, r6, DN_NEXT
+    bnez r6, cpwrite_loop
+    nop
+cpwrite_done:
+    .region dispatching
+    jmp  r15
+    .region processing
+    ldi  r0, r10, NI_NEXT
+)" << slotAlign << R"(
+    ; slot 6: ACK.
+    .region dispatching
+h_ack:
+    ldi  r15, r10, NI_NEXTMSGIP
+    .region processing
+    ldi  r5, r10, NI_I0
+    ld   r6, r5, r0
+    addi r6, r6, -1
+    st   r6, r5, r0
+    .region dispatching
+    jmp  r15
+    .region processing
+    ldi  r0, r10, NI_NEXT
+)" << slotAlign;
+
+    for (int s = 7; s <= 14; ++s)
+        os << "    halt\n" << slotAlign;
+
+    os << R"(
+h_stop:
+    halt
+)" << slotAlign << R"(
+    ; ------ type-0 (Send) inlets ------
+    .region dispatching
+h_send0:
+    ldi  r15, r10, NI_NEXTMSGIP
+    .region processing
+    ldi  r9, r10, NI_I0 | NI_NEXT
+    .region dispatching
+    jmp  r15
+    .region work
+    add  r2, r9, r0            ; the thread's first use of its FP
+
+    .region dispatching
+h_send1:
+    ldi  r15, r10, NI_NEXTMSGIP
+    .region processing
+    ldi  r9, r10, NI_I0
+    ldi  r6, r10, NI_I2 | NI_NEXT
+    .region dispatching
+    jmp  r15
+    .region processing
+    st   r6, r9, r0
+
+    .region dispatching
+h_send2:
+    ldi  r15, r10, NI_NEXTMSGIP
+    .region processing
+    ldi  r9, r10, NI_I0
+    ldi  r6, r10, NI_I2
+    ldi  r7, r10, NI_I3 | NI_NEXT
+    st   r6, r9, r0
+    .region dispatching
+    jmp  r15
+    .region processing
+    st   r7, r9, r4
+
+    ; ------ entry ------
+    .region setup
+entry:
+    li   r10, NI_BASE
+    li   r11, NI_O2 | NI_REPLY | NI_NEXT
+    addi r4, r0, 4
+    li   r5, 0x4000
+    sti  r5, r10, NI_IPBASE
+    br   poll
+    nop
+)";
+    return os.str();
+}
+
+/**
+ * The optimized cache-mapped handlers *without* the NextMsgIp
+ * overlap: every handler finishes its processing (NEXT folded into
+ * the final NI access), then reads MsgIp and jumps.  The MsgIp read
+ * happens after NEXT, so it reflects the new current message --
+ * correct, but the load-use latency and the jump's delay slot are
+ * fully exposed, which is exactly the cost the NextMsgIp register
+ * exists to hide (Section 2.2.3).
+ */
+std::string
+cacheOptHandlersNoOverlap()
+{
+    // The dispatch tail shared by every handler.
+    auto tail = [] {
+        return std::string(
+            "    .region dispatching\n"
+            "    ldi  r15, r10, NI_MSGIP\n"
+            "    jmp  r15\n"
+            "    nop\n");
+    };
+
+    std::ostringstream os;
+    os << R"(
+    ; ------ optimized cache-mapped handlers, no dispatch overlap ------
+    .org 0x4000
+
+    .region dispatching
+poll:
+    ldi  r15, r10, NI_MSGIP
+    jmp  r15
+    nop
+)" << slotAlign << R"(
+    .region exception
+exc:
+    halt
+)" << slotAlign << R"(
+    .region processing
+h_read:
+    ldi  r5, r10, NI_I0
+    ld   r6, r5, r0
+    st   r6, r10, r11          ; o2 + SEND-reply + NEXT
+)" << tail() << slotAlign << R"(
+    .region processing
+h_write:
+    ldi  r5, r10, NI_I0
+    ldi  r6, r10, NI_I1 | NI_NEXT
+    st   r6, r5, r0
+)" << tail() << slotAlign << R"(
+    .region processing
+h_pread:
+    ldi  r5, r10, NI_I0
+    ldi  r7, r10, NI_I1
+    ldi  r8, r10, NI_I2
+    ld   r6, r5, r0
+    ld   r9, r5, r4
+    addi r2, r6, -TAG_FULL
+    bnez r2, nopread_slow
+    nop
+    st   r9, r10, r11
+)" << tail() << R"(
+nopread_slow:
+    .region processing
+    ldi  r2, r0, ALLOC_PTR
+    addi r3, r2, DN_SIZE
+    sti  r3, r0, ALLOC_PTR
+    sti  r7, r2, DN_FP
+    bnez r6, nopread_defer
+    sti  r8, r2, DN_IP
+    sti  r0, r2, DN_NEXT
+    br   nopread_link
+    nop
+nopread_defer:
+    sti  r9, r2, DN_NEXT
+nopread_link:
+    sti  r2, r5, IS_VALUE
+    addi r3, r0, TAG_DEFERRED
+    sti  r3, r5, IS_TAG
+    ldi  r0, r10, NI_NEXT
+)" << tail() << slotAlign << R"(
+    .region processing
+h_pwrite:
+    ldi  r5, r10, NI_I0
+    ldi  r7, r10, NI_I1
+    ldi  r8, r10, NI_I2
+    ld   r6, r5, r4
+    ld   r2, r5, r0
+    sti  r8, r5, IS_VALUE
+    addi r3, r0, TAG_FULL
+    sti  r3, r5, IS_TAG
+    beqz r7, nopwrite_chk
+    sti  r7, r10, NI_O0
+    ldi  r0, r10, NI_SEND | NI_TYPE*T_ACK
+nopwrite_chk:
+    addi r3, r2, -TAG_DEFERRED
+    bnez r3, nopwrite_done
+    nop
+nopwrite_loop:
+    ldi  r2, r6, DN_FP
+    ldi  r3, r6, DN_IP
+    sti  r2, r10, NI_O0
+    sti  r3, r10, NI_O1
+    ldi  r0, r10, NI_FWD
+    ldi  r6, r6, DN_NEXT
+    bnez r6, nopwrite_loop
+    nop
+nopwrite_done:
+    ldi  r0, r10, NI_NEXT
+)" << tail() << slotAlign << R"(
+    .region processing
+h_ack:
+    ldi  r5, r10, NI_I0
+    ld   r6, r5, r0
+    addi r6, r6, -1
+    st   r6, r5, r0
+    ldi  r0, r10, NI_NEXT
+)" << tail() << slotAlign;
+
+    for (int s = 7; s <= 14; ++s)
+        os << "    halt\n" << slotAlign;
+
+    os << R"(
+h_stop:
+    halt
+)" << slotAlign << R"(
+    ; ------ type-0 (Send) inlets ------
+    .region processing
+h_send0:
+    ldi  r9, r10, NI_I0 | NI_NEXT
+)" << tail() << R"(
+    .region processing
+h_send1:
+    ldi  r9, r10, NI_I0
+    ldi  r6, r10, NI_I2 | NI_NEXT
+    st   r6, r9, r0
+)" << tail() << R"(
+    .region processing
+h_send2:
+    ldi  r9, r10, NI_I0
+    ldi  r6, r10, NI_I2
+    ldi  r7, r10, NI_I3 | NI_NEXT
+    st   r6, r9, r0
+    st   r7, r9, r4
+)" << tail() << R"(
+    ; ------ entry ------
+    .region setup
+entry:
+    li   r10, NI_BASE
+    li   r11, NI_O2 | NI_REPLY | NI_NEXT
+    addi r4, r0, 4
+    li   r5, 0x4000
+    sti  r5, r10, NI_IPBASE
+    br   poll
+    nop
+)";
+    return os.str();
+}
+
+/** Software poll-and-dispatch tail for the basic register model
+ *  (Figure 5, lines 1-6).  With @p sw_checks the tail also tests the
+ *  queue-threshold bits of STATUS (Section 2.2.4). */
+std::string
+regBasicDispTail(const std::string &tag, bool sw_checks)
+{
+    std::ostringstream os;
+    os << "    .region dispatching\n"
+       << "disp_" << tag << ":\n"
+       << "    and  r5, status, r12\n"
+       << "    beqz r5, disp_" << tag << "\n"
+       << "    slli r6, i4, 2\n";         // delay slot: table offset
+    if (sw_checks) {
+        os << "    and  r7, status, r11\n"
+           << "    bnez r7, qfull\n";
+        // Delay slot holds the table load (harmless when branching).
+    }
+    os << "    ld   r7, r13, r6\n"
+       << "    jmp  r7\n"
+       << "    nop\n";
+    return os.str();
+}
+
+/** Software poll-and-dispatch tail for the basic cache models. */
+std::string
+cacheBasicDispTail(const std::string &tag, bool sw_checks)
+{
+    std::ostringstream os;
+    os << "    .region dispatching\n"
+       << "disp_" << tag << ":\n"
+       << "    ldi  r5, r10, NI_STATUS\n"
+       << "    ldi  r6, r10, NI_I4\n";
+    if (sw_checks) {
+        os << "    and  r8, r5, r11\n"
+           << "    bnez r8, qfull\n";
+    }
+    os << "    and  r5, r5, r12\n"
+       << "    beqz r5, disp_" << tag << "\n"
+       << "    slli r6, r6, 2\n"          // delay slot
+       << "    ld   r7, r13, r6\n"
+       << "    jmp  r7\n"
+       << "    nop\n";
+    return os.str();
+}
+
+/** Emit code to fill the software dispatch table (basic models). */
+std::string
+basicTableInit()
+{
+    struct Entry { unsigned id; const char *label; };
+    static const Entry entries[] = {
+        {0, "hb_send0"}, {7, "hb_send1"}, {8, "hb_send2"},
+        {2, "hb_read"}, {3, "hb_write"}, {4, "hb_pread"},
+        {5, "hb_pwrite"}, {6, "hb_ack"}, {15, "hb_stop"},
+    };
+    std::ostringstream os;
+    for (const auto &e : entries) {
+        os << "    li   r2, " << e.label << "\n"
+           << "    sti  r2, r13, " << e.id * 4 << "\n";
+    }
+    return os.str();
+}
+
+/** The basic register-mapped handler set. */
+std::string
+regBasicHandlers(bool sw_checks)
+{
+    std::ostringstream os;
+    os << R"(
+    ; ------ basic register-mapped handlers ------
+    ; r12 = msg-valid mask, r13 = dispatch table, r4 = 4
+    .org 0x4000
+    .region setup
+entry:
+    li   r12, ST_MSGVALID
+    li   r11, ST_IAFULL | ST_OAFULL
+    li   r13, DISPATCH_TABLE
+    addi r4, r0, 4
+)" << basicTableInit() << R"(
+    br   disp_poll
+    nop
+)" << regBasicDispTail("poll", sw_checks) << R"(
+    ; READ: copy the continuation, set the reply id, fused load+send.
+    .region processing
+hb_read:
+    add  o0, i1, r0
+    add  o1, i2, r0
+    addi o4, r0, T_SEND
+    ld   o2, i0, r0 !send !next
+)" << regBasicDispTail("read", sw_checks) << R"(
+    .region processing
+hb_write:
+    st   i1, i0, r0 !next
+)" << regBasicDispTail("write", sw_checks) << R"(
+    .region processing
+hb_send0:
+    add  r9, i0, r0 !next
+)" << regBasicDispTail("send0", sw_checks) << R"(
+    .region processing
+hb_send1:
+    add  r9, i0, r0
+    st   i2, r9, r0 !next
+)" << regBasicDispTail("send1", sw_checks) << R"(
+    .region processing
+hb_send2:
+    add  r9, i0, r0
+    st   i2, r9, r0
+    st   i3, r9, r4 !next
+)" << regBasicDispTail("send2", sw_checks) << R"(
+    .region processing
+hb_pread:
+    ld   r5, i0, r0
+    ld   r6, i0, r4
+    addi r7, r5, -TAG_FULL
+    beqz r7, bpread_full
+    nop
+    ; EMPTY or DEFERRED (same code as optimized: no reply to build).
+    ldi  r8, r0, ALLOC_PTR
+    addi r7, r8, DN_SIZE
+    sti  r7, r0, ALLOC_PTR
+    st   i1, r8, r0
+    bnez r5, bpread_defer
+    sti  i2, r8, DN_IP
+    sti  r0, r8, DN_NEXT
+    br   bpread_link
+    nop
+bpread_defer:
+    sti  r6, r8, DN_NEXT
+bpread_link:
+    sti  r8, i0, IS_VALUE
+    addi r7, r0, TAG_DEFERRED
+    st   r7, i0, r0 !next
+)" << regBasicDispTail("pread_slow", sw_checks) << R"(
+    .region processing
+bpread_full:
+    add  o0, i1, r0
+    add  o1, i2, r0
+    addi o4, r0, T_SEND
+    add  o2, r6, r0 !send !next
+)" << regBasicDispTail("pread_full", sw_checks) << R"(
+    .region processing
+hb_pwrite:
+    ld   r5, i0, r0
+    ld   r6, i0, r4
+    st   i2, i0, r4
+    addi r7, r0, TAG_FULL
+    st   r7, i0, r0
+    beqz i1, bpwrite_chk
+    add  o0, i1, r0
+    addi o4, r0, T_ACK
+    send
+bpwrite_chk:
+    addi r7, r5, -TAG_DEFERRED
+    bnez r7, bpwrite_done
+    nop
+    add  o2, i2, r0            ; value persists across sends
+    addi o4, r0, T_SEND
+bpwrite_loop:
+    ldi  o0, r6, DN_FP
+    ldi  o1, r6, DN_IP
+    send
+    ldi  r6, r6, DN_NEXT
+    bnez r6, bpwrite_loop
+    nop
+bpwrite_done:
+    next
+)" << regBasicDispTail("pwrite", sw_checks) << R"(
+    .region processing
+hb_ack:
+    ld   r5, i0, r0
+    addi r5, r5, -1
+    st   r5, i0, r0 !next
+)" << regBasicDispTail("ack", sw_checks) << R"(
+hb_stop:
+    halt
+qfull:
+    ; A queue crossed its threshold: a real runtime would shed load
+    ; here (Section 2.2.4); the measurement harness never triggers it.
+    halt
+)";
+    return os.str();
+}
+
+/** The basic cache-mapped handler set. */
+std::string
+cacheBasicHandlers(bool sw_checks)
+{
+    std::ostringstream os;
+    os << R"(
+    ; ------ basic cache-mapped handlers ------
+    ; r10 = NI_BASE, r12 = msg-valid mask, r13 = table, r4 = 4,
+    ; r14 = generic reply id (T_SEND)
+    .org 0x4000
+    .region setup
+entry:
+    li   r10, NI_BASE
+    li   r12, ST_MSGVALID
+    li   r11, ST_IAFULL | ST_OAFULL
+    li   r13, DISPATCH_TABLE
+    addi r4, r0, 4
+    addi r14, r0, T_SEND
+)" << basicTableInit() << R"(
+    br   disp_poll
+    nop
+)" << cacheBasicDispTail("poll", sw_checks) << R"(
+    ; READ (Figure 5): copy continuation, load value, id, send, next.
+    .region processing
+hb_read:
+    ldi  r5, r10, NI_I1        ; reply FP
+    ldi  r6, r10, NI_I2        ; reply IP
+    ldi  r7, r10, NI_I0        ; address
+    sti  r5, r10, NI_O0
+    sti  r6, r10, NI_O1
+    ld   r8, r7, r0            ; value
+    sti  r8, r10, NI_O2
+    sti  r14, r10, NI_O4 | NI_SEND | NI_NEXT
+)" << cacheBasicDispTail("read", sw_checks) << R"(
+    .region processing
+hb_write:
+    ldi  r5, r10, NI_I0
+    ldi  r6, r10, NI_I1 | NI_NEXT
+    st   r6, r5, r0
+)" << cacheBasicDispTail("write", sw_checks) << R"(
+    .region processing
+hb_send0:
+    ldi  r9, r10, NI_I0 | NI_NEXT
+)" << cacheBasicDispTail("send0", sw_checks) << R"(
+    .region processing
+hb_send1:
+    ldi  r9, r10, NI_I0
+    ldi  r6, r10, NI_I2 | NI_NEXT
+    st   r6, r9, r0
+)" << cacheBasicDispTail("send1", sw_checks) << R"(
+    .region processing
+hb_send2:
+    ldi  r9, r10, NI_I0
+    ldi  r6, r10, NI_I2
+    ldi  r7, r10, NI_I3 | NI_NEXT
+    st   r6, r9, r0
+    st   r7, r9, r4
+)" << cacheBasicDispTail("send2", sw_checks) << R"(
+    .region processing
+hb_pread:
+    ldi  r5, r10, NI_I0        ; element
+    ldi  r7, r10, NI_I1        ; FP
+    ldi  r8, r10, NI_I2        ; IP
+    ld   r6, r5, r0            ; tag
+    ld   r9, r5, r4            ; value / head
+    addi r2, r6, -TAG_FULL
+    beqz r2, cbpread_full
+    nop
+    ldi  r2, r0, ALLOC_PTR
+    addi r3, r2, DN_SIZE
+    sti  r3, r0, ALLOC_PTR
+    sti  r7, r2, DN_FP
+    bnez r6, cbpread_defer
+    sti  r8, r2, DN_IP
+    sti  r0, r2, DN_NEXT
+    br   cbpread_link
+    nop
+cbpread_defer:
+    sti  r9, r2, DN_NEXT
+cbpread_link:
+    sti  r2, r5, IS_VALUE
+    addi r3, r0, TAG_DEFERRED
+    sti  r3, r5, IS_TAG
+    ldi  r0, r10, NI_NEXT
+)" << cacheBasicDispTail("pread_slow", sw_checks) << R"(
+    .region processing
+cbpread_full:
+    sti  r7, r10, NI_O0
+    sti  r8, r10, NI_O1
+    sti  r9, r10, NI_O2
+    sti  r14, r10, NI_O4 | NI_SEND | NI_NEXT
+)" << cacheBasicDispTail("pread_full", sw_checks) << R"(
+    .region processing
+hb_pwrite:
+    ldi  r5, r10, NI_I0
+    ldi  r7, r10, NI_I1        ; ack word
+    ldi  r8, r10, NI_I2        ; value
+    ld   r6, r5, r4            ; old head
+    ld   r2, r5, r0            ; tag
+    sti  r8, r5, IS_VALUE
+    addi r3, r0, TAG_FULL
+    sti  r3, r5, IS_TAG
+    beqz r7, cbpwrite_chk
+    sti  r7, r10, NI_O0
+    addi r3, r0, T_ACK
+    sti  r3, r10, NI_O4 | NI_SEND
+cbpwrite_chk:
+    addi r3, r2, -TAG_DEFERRED
+    bnez r3, cbpwrite_done
+    nop
+    sti  r8, r10, NI_O2        ; value persists across sends
+    sti  r14, r10, NI_O4       ; generic reply id
+cbpwrite_loop:
+    ldi  r2, r6, DN_FP
+    ldi  r3, r6, DN_IP
+    sti  r2, r10, NI_O0
+    sti  r3, r10, NI_O1
+    ldi  r0, r10, NI_SEND
+    ldi  r6, r6, DN_NEXT
+    bnez r6, cbpwrite_loop
+    nop
+cbpwrite_done:
+    ldi  r0, r10, NI_NEXT
+)" << cacheBasicDispTail("pwrite", sw_checks) << R"(
+    .region processing
+hb_ack:
+    ldi  r5, r10, NI_I0
+    ld   r6, r5, r0
+    addi r6, r6, -1
+    st   r6, r5, r0
+    ldi  r0, r10, NI_NEXT
+)" << cacheBasicDispTail("ack", sw_checks) << R"(
+hb_stop:
+    halt
+qfull:
+    halt
+)";
+    return os.str();
+}
+
+} // namespace
+
+std::string
+handlerProgram(const ni::Model &model, bool basic_sw_checks,
+               bool no_overlap)
+{
+    if (model.optimized) {
+        if (model.placement == ni::Placement::registerFile)
+            return regOptHandlers();
+        return no_overlap ? cacheOptHandlersNoOverlap()
+                          : cacheOptHandlers();
+    }
+    return model.placement == ni::Placement::registerFile
+               ? regBasicHandlers(basic_sw_checks)
+               : cacheBasicHandlers(basic_sw_checks);
+}
+
+namespace
+{
+
+/** Sender-side message field values (destination is node 1). */
+struct SendFields
+{
+    // Preloaded into r5..r8 by the setup code.
+    uint64_t v5, v6, v7, v8;
+};
+
+SendFields
+fieldsFor(Kind k)
+{
+    const uint64_t dest_frame = (1ull << 24) | 0x2000;  // FP on node 1
+    const uint64_t dest_addr = (1ull << 24) | 0x2100;
+    const uint64_t elem_base = (1ull << 24) | 0x2200;
+    const uint64_t ack_word = 0;    // no ack by default
+    switch (k) {
+      case Kind::send0:
+      case Kind::send1:
+      case Kind::send2:
+        // FP, IP, data, data.
+        return {dest_frame, 0x9000, 0x1234, 0x5678};
+      case Kind::read:
+      case Kind::write:
+        // addr, FP/value, IP.
+        return {dest_addr, dest_frame, 0x9000, 0};
+      case Kind::pread:
+        // element base, offset, FP, IP.
+        return {elem_base, 8, dest_frame, 0x9000};
+      case Kind::pwrite:
+        // element, ack, value.
+        return {elem_base, ack_word, 0x4242, 0};
+    }
+    return {};
+}
+
+/** Per-message composition for the register-mapped models. */
+std::string
+regSendBody(Kind k, bool basic)
+{
+    std::ostringstream os;
+    auto id_line = [&]() {
+        if (basic)
+            os << "    addi o4, r0, " << basicId(k) << "\n";
+    };
+    // `!send` carries the type on optimized models and is ignored on
+    // basic ones.
+    auto send_t = [&](unsigned type) {
+        return std::string(" !send=") + std::to_string(basic ? 0 : type);
+    };
+
+    switch (k) {
+      case Kind::send0:
+        id_line();
+        os << "    add  o0, r5, r0\n"
+           << "    add  o1, r6, r0" << send_t(typeSend) << "\n";
+        break;
+      case Kind::send1:
+        id_line();
+        os << "    add  o0, r5, r0\n"
+           << "    add  o1, r6, r0\n"
+           << "    add  o2, r7, r0" << send_t(typeSend) << "\n";
+        break;
+      case Kind::send2:
+        id_line();
+        os << "    add  o0, r5, r0\n"
+           << "    add  o1, r6, r0\n"
+           << "    add  o2, r7, r0\n"
+           << "    add  o3, r8, r0" << send_t(typeSend) << "\n";
+        break;
+      case Kind::read:
+        id_line();
+        os << "    add  o0, r5, r0\n"
+           << "    add  o1, r6, r0\n"
+           << "    add  o2, r7, r0" << send_t(typeRead) << "\n";
+        break;
+      case Kind::write:
+        id_line();
+        os << "    add  o0, r5, r0\n"
+           << "    add  o1, r6, r0" << send_t(typeWrite) << "\n";
+        break;
+      case Kind::pread:
+        id_line();
+        os << "    add  r3, r5, r6\n"      // element address compute
+           << "    add  o0, r3, r0\n"
+           << "    add  o1, r7, r0\n"
+           << "    add  o2, r8, r0" << send_t(typePRead) << "\n";
+        break;
+      case Kind::pwrite:
+        id_line();
+        os << "    add  o0, r5, r0\n"
+           << "    add  o1, r6, r0\n"
+           << "    add  o2, r7, r0" << send_t(typePWrite) << "\n";
+        break;
+    }
+    return os.str();
+}
+
+/** Per-message composition for the cache-mapped models. */
+std::string
+cacheSendBody(Kind k, bool basic)
+{
+    std::ostringstream os;
+    unsigned type = 0;
+    switch (k) {
+      case Kind::send0: case Kind::send1: case Kind::send2:
+        type = typeSend;
+        break;
+      case Kind::read: type = typeRead; break;
+      case Kind::write: type = typeWrite; break;
+      case Kind::pread: type = typePRead; break;
+      case Kind::pwrite: type = typePWrite; break;
+    }
+
+    auto store = [&](const char *src, const char *reg) {
+        os << "    sti  " << src << ", r10, " << reg << "\n";
+    };
+
+    switch (k) {
+      case Kind::send0:
+        store("r5", "NI_O0");
+        store("r6", "NI_O1");
+        break;
+      case Kind::send1:
+        store("r5", "NI_O0");
+        store("r6", "NI_O1");
+        store("r7", "NI_O2");
+        break;
+      case Kind::send2:
+        store("r5", "NI_O0");
+        store("r6", "NI_O1");
+        store("r7", "NI_O2");
+        store("r8", "NI_O3");
+        break;
+      case Kind::read:
+        store("r5", "NI_O0");
+        store("r6", "NI_O1");
+        store("r7", "NI_O2");
+        break;
+      case Kind::write:
+        store("r5", "NI_O0");
+        store("r6", "NI_O1");
+        break;
+      case Kind::pread:
+        os << "    add  r3, r5, r6\n";     // element address compute
+        store("r3", "NI_O0");
+        store("r7", "NI_O1");
+        store("r8", "NI_O2");
+        break;
+      case Kind::pwrite:
+        store("r5", "NI_O0");
+        store("r6", "NI_O1");
+        store("r7", "NI_O2");
+        break;
+    }
+
+    if (basic) {
+        bool is_send_kind = k == Kind::send0 || k == Kind::send1 ||
+                            k == Kind::send2;
+        if (is_send_kind) {
+            // The generic id stays hot in r14.
+            os << "    sti  r14, r10, NI_O4\n";
+        } else {
+            os << "    addi r2, r0, " << basicId(k) << "\n"
+               << "    sti  r2, r10, NI_O4\n";
+        }
+        os << "    ldi  r0, r10, NI_SEND\n";
+    } else {
+        os << "    ldi  r0, r10, NI_SEND | NI_TYPE*" << type << "\n";
+    }
+    return os.str();
+}
+
+} // namespace
+
+std::string
+senderProgram(const ni::Model &model, Kind kind, unsigned count)
+{
+    bool reg = model.placement == ni::Placement::registerFile;
+    bool basic = !model.optimized;
+    SendFields f = fieldsFor(kind);
+
+    std::ostringstream os;
+    os << "    .org 0x1000\n"
+       << "    .region setup\n"
+       << "entry:\n";
+    if (!reg)
+        os << "    li   r10, NI_BASE\n";
+    if (basic && !reg)
+        os << "    addi r14, r0, " << basicId(Kind::send0) << "\n";
+    os << "    li   r5, " << f.v5 << "\n"
+       << "    li   r6, " << f.v6 << "\n"
+       << "    li   r7, " << f.v7 << "\n"
+       << "    li   r8, " << f.v8 << "\n"
+       << "    lis  r1, " << count << "\n"
+       << "loop:\n"
+       << "    .region sending\n"
+       << (reg ? regSendBody(kind, basic) : cacheSendBody(kind, basic))
+       << "    .region loop\n"
+       << "    addi r1, r1, -1\n"
+       << "    bnez r1, loop\n"
+       << "    nop\n"
+       << "    halt\n";
+    return os.str();
+}
+
+} // namespace msg
+} // namespace tcpni

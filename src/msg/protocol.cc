@@ -1,0 +1,40 @@
+#include "msg/protocol.hh"
+
+namespace tcpni
+{
+namespace msg
+{
+
+std::map<std::string, uint64_t>
+protoSymbols()
+{
+    std::map<std::string, uint64_t> syms;
+    syms["T_SEND"] = typeSend;
+    syms["T_READ"] = typeRead;
+    syms["T_WRITE"] = typeWrite;
+    syms["T_PREAD"] = typePRead;
+    syms["T_PWRITE"] = typePWrite;
+    syms["T_ACK"] = typeAck;
+    syms["T_STOP"] = typeStop;
+
+    syms["IS_TAG"] = istructTagOffset;
+    syms["IS_VALUE"] = istructValueOffset;
+    syms["IS_ELEM_SIZE"] = istructElemSize;
+    syms["TAG_EMPTY"] = tagEmpty;
+    syms["TAG_FULL"] = tagFull;
+    syms["TAG_DEFERRED"] = tagDeferred;
+
+    syms["DN_FP"] = defNodeFpOffset;
+    syms["DN_IP"] = defNodeIpOffset;
+    syms["DN_NEXT"] = defNodeNextOffset;
+    syms["DN_SIZE"] = defNodeSize;
+
+    syms["T_ESCAPE"] = typeEscape;
+    syms["ALLOC_PTR"] = allocPtrAddr;
+    syms["DISPATCH_TABLE"] = basicDispatchTable;
+    syms["ESC_TABLE"] = escapeTableAddr;
+    return syms;
+}
+
+} // namespace msg
+} // namespace tcpni

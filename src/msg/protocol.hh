@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Message-protocol conventions built on the paper's architecture.
+ *
+ * The paper evaluates the message types needed "to communicate
+ * arguments and results between procedures, to access remote memory,
+ * and to access remote memory with presence bits" (Section 4.1).  We
+ * assign them 4-bit type codes (optimized interfaces) which double as
+ * the 32-bit message ids carried in word 4 by the basic interfaces:
+ *
+ *   SEND (0)  -- general thread invocation (the paper's Send / *T
+ *                Start message).  w0 = FP (global frame pointer; its
+ *                high bits address the destination node), w1 = IP of
+ *                the inlet/thread, w2..w3 = 0..2 data words.  Replies
+ *                to every other request are SEND messages, which is
+ *                why type 0 gets the Figure-7 word-1 dispatch shortcut.
+ *   READ (2)  -- remote read request (Figure 3): w0 = global address,
+ *                w1 = reply FP, w2 = reply IP.
+ *   WRITE (3) -- remote write: w0 = global address, w1 = value.
+ *   PREAD (4) -- I-structure read: w0 = global element address,
+ *                w1 = reply FP, w2 = reply IP.
+ *   PWRITE (5)-- I-structure write: w0 = global element address,
+ *                w1 = value, w2 = ack word (global address of a
+ *                completion counter on the writer's node; 0 = no ack).
+ *   ACK (6)   -- PWRITE completion: w0 = global counter address.
+ *                The handler decrements the addressed counter.
+ *   STOP (15) -- harness control: the handler loop halts.
+ *
+ * Type 1 is reserved for the exception handler (Section 2.2.4).
+ *
+ * I-structure storage layout (walked by the PREAD/PWRITE handler
+ * assembly): each element is two words,
+ *
+ *   +0  tag    (0 = EMPTY, 1 = FULL, 2 = DEFERRED)
+ *   +4  value  (FULL) or head of the deferred-reader list (DEFERRED)
+ *
+ * A deferred-reader node is three words: +0 FP, +4 IP, +8 next (0 ends
+ * the list).  Nodes come from a bump allocator whose free pointer
+ * lives at the fixed local address allocPtrAddr.
+ */
+
+#ifndef TCPNI_MSG_PROTOCOL_HH
+#define TCPNI_MSG_PROTOCOL_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace tcpni
+{
+namespace msg
+{
+
+/** Protocol message types (optimized) / message ids (basic). */
+enum MsgType : uint8_t
+{
+    typeSend = 0,
+    typeExc = 1,        //!< reserved (Section 2.2.4)
+    typeRead = 2,
+    typeWrite = 3,
+    typePRead = 4,
+    typePWrite = 5,
+    typeAck = 6,
+    /** Section 2.2.1's "escape" type: the real (32-bit) identifier
+     *  rides in word 4 and the handler dispatches through a software
+     *  table, like the basic architecture. */
+    typeEscape = 14,
+    typeStop = 15,
+};
+
+/** Local address of the escape-type software dispatch table. */
+constexpr Addr escapeTableAddr = 0x140;
+
+/** @{ I-structure element layout (bytes). */
+constexpr Word istructTagOffset = 0;
+constexpr Word istructValueOffset = 4;
+constexpr Word istructElemSize = 8;
+
+constexpr Word tagEmpty = 0;
+constexpr Word tagFull = 1;
+constexpr Word tagDeferred = 2;
+/** @} */
+
+/** @{ Deferred-reader node layout (bytes). */
+constexpr Word defNodeFpOffset = 0;
+constexpr Word defNodeIpOffset = 4;
+constexpr Word defNodeNextOffset = 8;
+constexpr Word defNodeSize = 12;
+/** @} */
+
+/** Local address of the deferred-node bump-allocator free pointer. */
+constexpr Addr allocPtrAddr = 0x80;
+
+/** Local address of the software dispatch table used by the basic
+ *  (no-MsgIp) handler loops: 16 words of handler addresses indexed by
+ *  the 32-bit message id in word 4. */
+constexpr Addr basicDispatchTable = 0x100;
+
+/**
+ * Assembler symbols for the protocol constants, to be merged with
+ * ni::asmSymbols() when assembling handler kernels.
+ */
+std::map<std::string, uint64_t> protoSymbols();
+
+} // namespace msg
+} // namespace tcpni
+
+#endif // TCPNI_MSG_PROTOCOL_HH

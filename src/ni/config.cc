@@ -1,0 +1,39 @@
+#include "ni/config.hh"
+
+namespace tcpni
+{
+namespace ni
+{
+
+std::string
+placementName(Placement p)
+{
+    switch (p) {
+      case Placement::offChipCache: return "Off-chip Cache";
+      case Placement::onChipCache: return "On-chip Cache";
+      case Placement::registerFile: return "Register Mapped";
+    }
+    return "?";
+}
+
+std::string
+Model::name() const
+{
+    return std::string(optimized ? "Optimized " : "Basic ") +
+           placementName(placement);
+}
+
+std::string
+Model::shortName() const
+{
+    std::string p;
+    switch (placement) {
+      case Placement::offChipCache: p = "off"; break;
+      case Placement::onChipCache: p = "on"; break;
+      case Placement::registerFile: p = "reg"; break;
+    }
+    return p + (optimized ? "-opt" : "-basic");
+}
+
+} // namespace ni
+} // namespace tcpni

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Configuration of a network interface instance: its placement
+ * (Section 3's three implementations) and which of the Section-2.2
+ * hardware optimizations are present.
+ *
+ * The paper's six evaluation models are the cross product of
+ * { off-chip cache, on-chip cache, register-file } placement with
+ * { basic, optimized } feature sets.  For the ablation benchmarks the
+ * individual optimizations can also be toggled independently.
+ */
+
+#ifndef TCPNI_NI_CONFIG_HH
+#define TCPNI_NI_CONFIG_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace tcpni
+{
+namespace ni
+{
+
+/** Where the interface sits relative to the processor (Section 3). */
+enum class Placement : uint8_t
+{
+    offChipCache,   //!< Sec 3.1: on the external cache bus (the NIC chip)
+    onChipCache,    //!< Sec 3.2: on the internal cache bus
+    registerFile,   //!< Sec 3.3: mapped into the register file
+};
+
+/** Which Section-2.2 hardware optimizations are implemented. */
+struct Features
+{
+    bool encodedTypes = true;       //!< Sec 2.2.1: 4-bit type in SEND
+    bool fastReplyForward = true;   //!< Sec 2.2.2: REPLY / FORWARD modes
+    bool hwDispatch = true;         //!< Sec 2.2.3: MsgIp / NextMsgIp
+    bool hwBoundaryChecks = true;   //!< Sec 2.2.4: iafull/oafull in MsgIp
+
+    static Features basic()
+    {
+        return {false, false, false, false};
+    }
+    static Features optimized() { return {}; }
+
+    bool
+    anyOptimization() const
+    {
+        return encodedTypes || fastReplyForward || hwDispatch ||
+               hwBoundaryChecks;
+    }
+
+    bool operator==(const Features &) const = default;
+};
+
+/** Full configuration of one network interface. */
+struct NiConfig
+{
+    Placement placement = Placement::registerFile;
+    Features features = Features::optimized();
+
+    unsigned inputQueueDepth = 16;
+    unsigned outputQueueDepth = 16;
+
+    /** Default queue thresholds loaded into CONTROL at reset. */
+    unsigned inputThreshold = 12;
+    unsigned outputThreshold = 12;
+
+    /**
+     * Extra load-use delay cycles the processor sees on a load from
+     * this interface (Section 3.1: two cycles for the off-chip NIC on
+     * an 88100; Section 4.2.3 studies raising it to 8).
+     */
+    Cycles
+    loadUseDelay() const
+    {
+        return placement == Placement::offChipCache ? offChipLoadUseDelay
+                                                    : 0;
+    }
+
+    /** Off-chip read latency knob for the Section 4.2.3 sensitivity. */
+    Cycles offChipLoadUseDelay = 2;
+
+    /** Emit an inform() line for every message sent and received
+     *  (suppressed when logging::quiet is set). */
+    bool traceMessages = false;
+};
+
+/** One of the paper's six evaluation models. */
+struct Model
+{
+    Placement placement;
+    bool optimized;
+
+    NiConfig
+    config() const
+    {
+        NiConfig c;
+        c.placement = placement;
+        c.features = optimized ? Features::optimized() : Features::basic();
+        return c;
+    }
+
+    std::string name() const;
+    std::string shortName() const;
+};
+
+/** The six models in the paper's column order (optimized first). */
+constexpr std::array<Model, 6> allModels()
+{
+    return {{
+        {Placement::registerFile, true},
+        {Placement::onChipCache, true},
+        {Placement::offChipCache, true},
+        {Placement::registerFile, false},
+        {Placement::onChipCache, false},
+        {Placement::offChipCache, false},
+    }};
+}
+
+std::string placementName(Placement p);
+
+} // namespace ni
+} // namespace tcpni
+
+#endif // TCPNI_NI_CONFIG_HH

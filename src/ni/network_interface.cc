@@ -1,0 +1,461 @@
+#include "ni/network_interface.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace tcpni
+{
+namespace ni
+{
+
+NetworkInterface::NetworkInterface(std::string name, EventQueue &eq,
+                                   NodeId node, Network &network,
+                                   NiConfig config)
+    : SimObject(std::move(name), eq), node_(node), network_(network),
+      config_(config), pumpEvent_(*this)
+{
+    // Reset CONTROL: stall-on-full policy, configured thresholds,
+    // PIN 0, PIN checking off.
+    control_ = (1u << control::stallOnFullBit) |
+               (static_cast<Word>(config_.inputThreshold)
+                << control::inThresholdShift) |
+               (static_cast<Word>(config_.outputThreshold)
+                << control::outThresholdShift);
+
+    network_.setSink(node_, [this](const Message &m) {
+        return acceptFromNetwork(m);
+    });
+
+    statGroup().addScalar("sent", &sent_, "messages injected");
+    statGroup().addScalar("received", &received_, "messages accepted");
+    statGroup().addScalar("refused", &refused_,
+                          "deliveries refused (input queue full)");
+    statGroup().addScalar("overflowExc", &overflowExc_,
+                          "output-overflow exceptions raised");
+    statGroup().addScalar("privReceived", &privReceived_,
+                          "privileged/PIN-mismatched messages queued");
+    statGroup().addScalar("interrupts", &interrupts_,
+                          "message-arrival interrupts delivered");
+}
+
+unsigned
+NetworkInterface::inThreshold() const
+{
+    return static_cast<unsigned>(
+        bits(control_, control::inThresholdShift + 7,
+             control::inThresholdShift));
+}
+
+unsigned
+NetworkInterface::outThreshold() const
+{
+    return static_cast<unsigned>(
+        bits(control_, control::outThresholdShift + 7,
+             control::outThresholdShift));
+}
+
+bool
+NetworkInterface::iafull() const
+{
+    return inputQueue_.size() > inThreshold();
+}
+
+bool
+NetworkInterface::oafull() const
+{
+    return outputQueue_.size() > outThreshold();
+}
+
+Word
+NetworkInterface::readReg(unsigned reg)
+{
+    switch (reg) {
+      case regO0: case regO1: case regO2: case regO3: case regO4:
+        return outputRegs_[reg - regO0];
+      case regI0: case regI1: case regI2: case regI3: case regI4:
+        return inputRegs_[reg - regI0];
+      case regStatus: {
+        Word s = 0;
+        s |= static_cast<Word>(
+                 std::min<size_t>(inputQueue_.size(), 255))
+             << status::inputLenShift;
+        s |= static_cast<Word>(
+                 std::min<size_t>(outputQueue_.size(), 255))
+             << status::outputLenShift;
+        if (inputValid_)
+            s |= 1u << status::msgValidBit;
+        s |= static_cast<Word>(inputValid_ ? currentType_ & 0xf : 0)
+             << status::msgTypeShift;
+        if (iafull())
+            s |= 1u << status::iafullBit;
+        if (oafull())
+            s |= 1u << status::oafullBit;
+        if (excCode_ != ExcCode::none) {
+            s |= 1u << status::excPendingBit;
+            s |= static_cast<Word>(excCode_) << status::excCodeShift;
+        }
+        return s;
+      }
+      case regControl:
+        return control_;
+      case regMsgIp:
+        return msgIp();
+      case regNextMsgIp:
+        return nextMsgIp();
+      case regIpBase:
+        return ipBase_;
+      default:
+        panic("read of unknown NI register %u", reg);
+    }
+}
+
+void
+NetworkInterface::writeReg(unsigned reg, Word value)
+{
+    switch (reg) {
+      case regO0: case regO1: case regO2: case regO3: case regO4:
+        outputRegs_[reg - regO0] = value;
+        return;
+      case regI0: case regI1: case regI2: case regI3: case regI4:
+        // Input registers are writable scratch between messages; NEXT
+        // overwrites them.
+        inputRegs_[reg - regI0] = value;
+        return;
+      case regStatus:
+        // Writing STATUS acknowledges the pending exception.
+        excCode_ = ExcCode::none;
+        return;
+      case regControl:
+        control_ = value;
+        // Level-triggered interrupt semantics: re-enabling while a
+        // message already sits in the input registers fires at once,
+        // so no arrival between NEXT and re-enable can be lost.  The
+        // conventional handler epilogue therefore re-enables in the
+        // delay slot of its `jmp r14` return.
+        if (interruptSink_ && bits(control_, control::intEnableBit) &&
+            inputValid_ && config_.features.hwDispatch) {
+            control_ &= ~(1u << control::intEnableBit);
+            ++interrupts_;
+            interruptSink_(msgIp());
+        }
+        return;
+      case regMsgIp:
+      case regNextMsgIp:
+        warn("write to read-only NI register %u ignored", reg);
+        return;
+      case regIpBase:
+        if (value & ~dispatch::tableMask)
+            warn("IpBase 0x%08x not 4KB aligned; low bits ignored",
+                 value);
+        ipBase_ = value & dispatch::tableMask;
+        return;
+      default:
+        panic("write of unknown NI register %u", reg);
+    }
+}
+
+Word
+NetworkInterface::dispatchFor(bool valid, uint8_t type, Word word1) const
+{
+    if (excCode_ != ExcCode::none)
+        return dispatch::handlerAddr(ipBase_, dispatch::excType);
+
+    bool ia = config_.features.hwBoundaryChecks && iafull();
+    bool oa = config_.features.hwBoundaryChecks && oafull();
+
+    // Figure 7 case 2: a type-0 message below both thresholds carries
+    // its handler address in word 1.
+    if (valid && type == 0 && !ia && !oa)
+        return word1;
+
+    return dispatch::handlerAddr(ipBase_, valid ? type : 0, ia, oa);
+}
+
+Word
+NetworkInterface::msgIp() const
+{
+    if (!config_.features.hwDispatch)
+        return 0;
+    return dispatchFor(inputValid_, currentType_, inputRegs_[1]);
+}
+
+Word
+NetworkInterface::nextMsgIp() const
+{
+    if (!config_.features.hwDispatch)
+        return 0;
+    if (inputQueue_.empty())
+        return dispatchFor(false, 0, 0);
+    const Message &head = inputQueue_.front();
+    return dispatchFor(true, head.type, head.words[1]);
+}
+
+Message
+NetworkInterface::compose(isa::SendMode mode, uint8_t type) const
+{
+    Message m;
+
+    if (pendingOut_.empty()) {
+        for (unsigned k = 0; k < msgWords; ++k)
+            m.words[k] = outputRegs_[k];
+    } else {
+        // Long message: the banked SCROLL-OUT words come first, the
+        // current output registers last.
+        std::vector<Word> full = pendingOut_;
+        full.insert(full.end(), outputRegs_, outputRegs_ + msgWords);
+        for (unsigned k = 0; k < msgWords; ++k)
+            m.words[k] = full[k];
+        m.extra.assign(full.begin() + msgWords, full.end());
+    }
+
+    switch (mode) {
+      case isa::SendMode::reply:
+        // Section 2.2.2: i1 and i2 substitute for o0 and o1: the
+        // requester's continuation (FP, IP) heads the reply.
+        m.words[0] = inputRegs_[1];
+        m.words[1] = inputRegs_[2];
+        break;
+      case isa::SendMode::forward:
+        // Data words of the incoming message substitute for o2..o4.
+        m.words[2] = inputRegs_[2];
+        m.words[3] = inputRegs_[3];
+        m.words[4] = inputRegs_[4];
+        break;
+      default:
+        break;
+    }
+
+    m.type = type & 0xf;
+    m.pin = static_cast<uint8_t>(bits(control_, control::pinShift + 7,
+                                      control::pinShift));
+    m.src = node_;
+    m.setDestFromWord0();
+    return m;
+}
+
+bool
+NetworkInterface::sendWouldStall() const
+{
+    return outputQueue_.size() >= config_.outputQueueDepth &&
+           bits(control_, control::stallOnFullBit) != 0;
+}
+
+CmdResult
+NetworkInterface::enqueueSend(Message msg)
+{
+    if (outputQueue_.size() >= config_.outputQueueDepth) {
+        if (bits(control_, control::stallOnFullBit)) {
+            // Section 2.1.1: stall the processor until the output
+            // queue empties.
+            return CmdResult::stall;
+        }
+        ++overflowExc_;
+        raise(ExcCode::outputOverflow);
+        return CmdResult::ok;
+    }
+    if (config_.traceMessages) {
+        inform("%llu %s TX %s",
+               static_cast<unsigned long long>(curTick()),
+               name().c_str(), msg.toString().c_str());
+    }
+    outputQueue_.push_back(std::move(msg));
+    ++sent_;
+    schedulePump();
+    return CmdResult::ok;
+}
+
+CmdResult
+NetworkInterface::command(const isa::NiCommand &cmd)
+{
+    if (cmd.mode != isa::SendMode::none) {
+        if (cmd.mode != isa::SendMode::send &&
+            !config_.features.fastReplyForward) {
+            panic("REPLY/FORWARD send modes are a Section-2.2.2 "
+                  "optimization absent from this (basic) interface");
+        }
+        uint8_t type = config_.features.encodedTypes ? cmd.type : 0;
+        if (config_.features.hwDispatch && type == dispatch::excType) {
+            panic("message type 1 is reserved for the exception "
+                  "handler (Section 2.2.4)");
+        }
+        CmdResult res = enqueueSend(compose(cmd.mode, type));
+        if (res == CmdResult::stall)
+            return res;
+        pendingOut_.clear();
+    }
+    if (cmd.next)
+        doNext();
+    return CmdResult::ok;
+}
+
+void
+NetworkInterface::scrollOut()
+{
+    for (unsigned k = 0; k < msgWords; ++k)
+        pendingOut_.push_back(outputRegs_[k]);
+}
+
+void
+NetworkInterface::scrollIn()
+{
+    if (!inputValid_ || scrollOffset_ >= currentExtra_.size()) {
+        raise(ExcCode::inputPortError);
+        return;
+    }
+    for (unsigned k = 0; k < msgWords; ++k) {
+        size_t idx = scrollOffset_ + k;
+        inputRegs_[k] = idx < currentExtra_.size() ? currentExtra_[idx]
+                                                   : 0;
+    }
+    scrollOffset_ += msgWords;
+}
+
+void
+NetworkInterface::doNext()
+{
+    inputValid_ = false;
+    currentExtra_.clear();
+    scrollOffset_ = 0;
+    refill();
+}
+
+void
+NetworkInterface::refill()
+{
+    if (inputValid_ || inputQueue_.empty())
+        return;
+    Message m = std::move(inputQueue_.front());
+    inputQueue_.pop_front();
+    for (unsigned k = 0; k < msgWords; ++k)
+        inputRegs_[k] = m.words[k];
+    currentType_ = m.type & 0xf;
+    currentExtra_ = std::move(m.extra);
+    scrollOffset_ = 0;
+    inputValid_ = true;
+
+    // Interrupt-driven reception: a message advancing into empty
+    // input registers interrupts the processor.  The enable bit
+    // clears on delivery so the handler runs uninterrupted until it
+    // re-enables (Section 2.1 allows either reception style).
+    if (interruptSink_ && bits(control_, control::intEnableBit) &&
+        config_.features.hwDispatch) {
+        control_ &= ~(1u << control::intEnableBit);
+        ++interrupts_;
+        interruptSink_(msgIp());
+    }
+}
+
+CmdResult
+NetworkInterface::access(Word addr, Word data, bool is_store, Word &result)
+{
+    unsigned reg = static_cast<unsigned>(
+        bits(addr, cmdaddr::regShift + 3, cmdaddr::regShift));
+    isa::NiCommand cmd;
+    cmd.type = static_cast<uint8_t>(
+        bits(addr, cmdaddr::typeShift + 3, cmdaddr::typeShift));
+    cmd.mode = static_cast<isa::SendMode>(
+        bits(addr, cmdaddr::modeShift + 1, cmdaddr::modeShift));
+    cmd.next = bits(addr, cmdaddr::nextBit) != 0;
+    bool scroll_in = bits(addr, cmdaddr::scrollInBit) != 0;
+    bool scroll_out = bits(addr, cmdaddr::scrollOutBit) != 0;
+
+    if (reg >= numNiRegs)
+        panic("cache-mapped access to nonexistent NI register %u "
+              "(addr 0x%08x)", reg, addr);
+
+    // Register access first, then commands: a store that also SENDs
+    // includes the stored value in the outgoing message (as in the
+    // final store of the paper's basic off-chip handler).
+    result = 0;
+    if (is_store)
+        writeReg(reg, data);
+    else
+        result = readReg(reg);
+
+    if (scroll_out)
+        scrollOut();
+
+    CmdResult res = command(cmd);
+    if (res == CmdResult::stall)
+        return res;
+
+    if (scroll_in)
+        scrollIn();
+    return CmdResult::ok;
+}
+
+bool
+NetworkInterface::acceptFromNetwork(const Message &msg)
+{
+    bool pin_check = bits(control_, control::checkPinBit) != 0;
+    uint8_t my_pin = static_cast<uint8_t>(
+        bits(control_, control::pinShift + 7, control::pinShift));
+
+    if (msg.privileged || (pin_check && msg.pin != my_pin)) {
+        // Section 2.1.3: privileged messages and messages for inactive
+        // processes are stored in privileged state for the OS.
+        if (privQueue_.size() >= 1024)
+            panic("privileged queue overflow on node %u", node_);
+        privQueue_.push_back(msg);
+        ++privReceived_;
+        raise(msg.privileged ? ExcCode::privilegedPending
+                             : ExcCode::pinMismatch);
+        return true;
+    }
+
+    if (inputQueue_.size() >= config_.inputQueueDepth) {
+        ++refused_;
+        return false;
+    }
+    if (config_.traceMessages) {
+        inform("%llu %s RX %s",
+               static_cast<unsigned long long>(curTick()),
+               name().c_str(), msg.toString().c_str());
+    }
+    inputQueue_.push_back(msg);
+    ++received_;
+    refill();
+    return true;
+}
+
+Message
+NetworkInterface::popPrivileged()
+{
+    if (privQueue_.empty())
+        panic("popPrivileged on empty privileged queue");
+    Message m = std::move(privQueue_.front());
+    privQueue_.pop_front();
+    return m;
+}
+
+void
+NetworkInterface::raise(ExcCode code)
+{
+    // First pending exception wins; the handler clears STATUS and will
+    // observe any still-outstanding condition on its next dispatch.
+    if (excCode_ == ExcCode::none)
+        excCode_ = code;
+}
+
+void
+NetworkInterface::schedulePump()
+{
+    if (!pumpEvent_.scheduled() && !outputQueue_.empty())
+        eventq().schedule(&pumpEvent_, curTick() + 1);
+}
+
+void
+NetworkInterface::pump()
+{
+    // One injection attempt per cycle.
+    if (!outputQueue_.empty() &&
+        network_.offer(node_, outputQueue_.front())) {
+        outputQueue_.pop_front();
+    }
+    if (!outputQueue_.empty())
+        eventq().schedule(&pumpEvent_, curTick() + 1);
+}
+
+} // namespace ni
+} // namespace tcpni

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * The network interface architecture of Section 2.
+ *
+ * One NetworkInterface instance models the programmer-visible state of
+ * Figure 1 -- the five output registers, five input registers, STATUS,
+ * CONTROL, and (when the hardware-dispatch optimization is present) the
+ * IpBase / MsgIp / NextMsgIp registers -- together with the input and
+ * output message queues and the SEND / NEXT / SCROLL command engine.
+ *
+ * The same class serves all three placements of Section 3; placement
+ * determines how the processor reaches these registers (and with what
+ * latency), which is modeled in the Cpu coupling:
+ *
+ *  - cache-mapped placements access registers and issue commands
+ *    through load/store addresses encoded per Figure 9
+ *    (see access());
+ *  - the register-file placement accesses registers as r16..r30 and
+ *    issues commands through the spare bits of triadic instructions
+ *    (see Cpu).
+ *
+ * Command ordering within a single instruction (or single cache
+ * access) follows the paper's examples: the register read/write takes
+ * effect first, then SEND (composing from the current register
+ * contents), then NEXT.
+ */
+
+#ifndef TCPNI_NI_NETWORK_INTERFACE_HH
+#define TCPNI_NI_NETWORK_INTERFACE_HH
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/stats.hh"
+#include "isa/isa.hh"
+#include "ni/config.hh"
+#include "ni/ni_regs.hh"
+#include "noc/network.hh"
+#include "sim/sim_object.hh"
+
+namespace tcpni
+{
+namespace ni
+{
+
+/** Outcome of a SEND/NEXT command group. */
+enum class CmdResult : uint8_t
+{
+    ok,     //!< commands executed (possibly raising an exception)
+    stall,  //!< output queue full with stall policy: retry next cycle
+};
+
+/** The paper's network interface. */
+class NetworkInterface : public SimObject
+{
+  public:
+    NetworkInterface(std::string name, EventQueue &eq, NodeId node,
+                     Network &network, NiConfig config);
+
+    const NiConfig &config() const { return config_; }
+    NodeId node() const { return node_; }
+
+    /** @{ Register-level access (both couplings use these). */
+    Word readReg(unsigned reg);
+    void writeReg(unsigned reg, Word value);
+    /** @} */
+
+    /**
+     * Execute the SEND and/or NEXT commands carried by one instruction
+     * or one command address.  SEND happens before NEXT.
+     */
+    CmdResult command(const isa::NiCommand &cmd);
+
+    /** SCROLL-OUT: bank the output registers as the next five words of
+     *  a long message and continue composing it (Section 2.1.2). */
+    void scrollOut();
+
+    /** SCROLL-IN: advance the input registers to the next five words of
+     *  the current long message.  Scrolling past the end raises the
+     *  inputPortError exception. */
+    void scrollIn();
+
+    /**
+     * Cache-mapped access (Figure 9): decode @p addr, perform the
+     * register read or write, then execute any encoded commands.
+     *
+     * @param addr      full address; low bits encode register+commands
+     * @param data      store data (ignored for loads)
+     * @param is_store  store vs load
+     * @param result    out: loaded value (pre-command register value)
+     * @return stall indication, as for command()
+     */
+    CmdResult access(Word addr, Word data, bool is_store, Word &result);
+
+    /** True if @p addr falls in the cache-mapped interface window. */
+    static bool
+    isNiAddr(Word addr)
+    {
+        return (addr & cmdaddr::niAddrBase) == cmdaddr::niAddrBase;
+    }
+
+    /** Network-side delivery sink; false refuses (input queue full). */
+    bool acceptFromNetwork(const Message &msg);
+
+    /** @{ Supervisor-level access to the privileged message queue
+     *     (Section 2.1.3).  In hardware these messages would be held in
+     *     privileged state and drained by the operating system. */
+    bool hasPrivileged() const { return !privQueue_.empty(); }
+    Message popPrivileged();
+    /** @} */
+
+    /** @{ Introspection for tests and harnesses. */
+    size_t inputQueueLen() const { return inputQueue_.size(); }
+    size_t outputQueueLen() const { return outputQueue_.size(); }
+    bool msgValid() const { return inputValid_; }
+    uint8_t currentType() const { return currentType_; }
+    ExcCode pendingException() const { return excCode_; }
+    uint64_t numSent() const { return sent_.value(); }
+    uint64_t numReceived() const { return received_.value(); }
+    /** @} */
+
+    /** True if a SEND issued now would stall under the stall-on-full
+     *  policy (used by the CPU to hold the instruction at issue). */
+    bool sendWouldStall() const;
+
+    /** Compute the current MsgIp value (Figure 7). */
+    Word msgIp() const;
+
+    /** Compute the NextMsgIp value: MsgIp of the message NEXT would
+     *  load (the head of the input queue). */
+    Word nextMsgIp() const;
+
+    /**
+     * Register the processor's interrupt sink (interrupt-driven
+     * reception, CONTROL bit 2).  Called with the handler address
+     * (the MsgIp value) when a message advances into empty input
+     * registers while interrupts are enabled.
+     */
+    void setInterruptSink(std::function<void(Word)> sink)
+    {
+        interruptSink_ = std::move(sink);
+    }
+
+  private:
+    class PumpEvent : public Event
+    {
+      public:
+        explicit PumpEvent(NetworkInterface &ni)
+            : Event(niPri), ni_(ni)
+        {}
+        void process() override { ni_.pump(); }
+        std::string name() const override { return "ni-pump"; }
+
+      private:
+        NetworkInterface &ni_;
+    };
+
+    /** Compose an outgoing message per the SEND mode and type. */
+    Message compose(isa::SendMode mode, uint8_t type) const;
+
+    /** Try to enqueue a composed message; applies the full-queue
+     *  policy.  @return stall or ok. */
+    CmdResult enqueueSend(Message msg);
+
+    /** Execute NEXT. */
+    void doNext();
+
+    /** Pop the queue into the input registers if they are invalid. */
+    void refill();
+
+    /** Offer queued output messages to the network. */
+    void pump();
+    void schedulePump();
+
+    /** Record an exceptional condition (first pending wins). */
+    void raise(ExcCode code);
+
+    /** Figure-7 case analysis for an arbitrary "current" message. */
+    Word dispatchFor(bool valid, uint8_t type, Word word1) const;
+
+    bool iafull() const;
+    bool oafull() const;
+    unsigned inThreshold() const;
+    unsigned outThreshold() const;
+
+    NodeId node_;
+    Network &network_;
+    NiConfig config_;
+
+    Word outputRegs_[msgWords] = {0, 0, 0, 0, 0};
+    Word inputRegs_[msgWords] = {0, 0, 0, 0, 0};
+    bool inputValid_ = false;
+    uint8_t currentType_ = 0;
+
+    Word control_ = 0;
+    Word ipBase_ = 0;
+    ExcCode excCode_ = ExcCode::none;
+
+    std::deque<Message> inputQueue_;
+    std::deque<Message> outputQueue_;
+    std::deque<Message> privQueue_;
+
+    /** SCROLL-OUT accumulation buffer for the message being composed. */
+    std::vector<Word> pendingOut_;
+
+    /** SCROLL-IN offset into the current message's extra words. */
+    size_t scrollOffset_ = 0;
+
+    /** Extra words of the message currently in the input registers. */
+    std::vector<Word> currentExtra_;
+
+    PumpEvent pumpEvent_;
+    std::function<void(Word)> interruptSink_;
+
+    stats::Scalar sent_;
+    stats::Scalar interrupts_;
+    stats::Scalar received_;
+    stats::Scalar refused_;
+    stats::Scalar overflowExc_;
+    stats::Scalar privReceived_;
+};
+
+} // namespace ni
+} // namespace tcpni
+
+#endif // TCPNI_NI_NETWORK_INTERFACE_HH

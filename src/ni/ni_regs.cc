@@ -1,0 +1,60 @@
+#include "ni/ni_regs.hh"
+
+#include "noc/message.hh"
+
+namespace tcpni
+{
+namespace ni
+{
+
+std::map<std::string, uint64_t>
+asmSymbols()
+{
+    using namespace cmdaddr;
+    std::map<std::string, uint64_t> syms;
+
+    syms["NI_BASE"] = niAddrBase;
+
+    static const char *reg_names[numNiRegs] = {
+        "NI_O0", "NI_O1", "NI_O2", "NI_O3", "NI_O4",
+        "NI_I0", "NI_I1", "NI_I2", "NI_I3", "NI_I4",
+        "NI_STATUS", "NI_CONTROL", "NI_MSGIP", "NI_NEXTMSGIP",
+        "NI_IPBASE",
+    };
+    for (unsigned r = 0; r < numNiRegs; ++r)
+        syms[reg_names[r]] = static_cast<uint64_t>(r) << regShift;
+
+    // Command bits for cache-mapped accesses (Figure 9).
+    syms["NI_SEND"] = 1ull << modeShift;
+    syms["NI_REPLY"] = 2ull << modeShift;
+    syms["NI_FWD"] = 3ull << modeShift;
+    syms["NI_TYPE"] = 1ull << typeShift;    // multiply by the type
+    syms["NI_NEXT"] = 1ull << nextBit;
+    syms["NI_SCRLIN"] = 1ull << scrollInBit;
+    syms["NI_SCRLOUT"] = 1ull << scrollOutBit;
+
+    // Dispatch table layout (Section 2.2.3).
+    syms["HANDLER_STRIDE"] = 1ull << dispatch::handlerShift;
+    syms["DISP_IAFULL"] = 1ull << dispatch::iafullShift;
+    syms["DISP_OAFULL"] = 1ull << dispatch::oafullShift;
+
+    // STATUS register fields.
+    syms["ST_MSGVALID"] = 1ull << status::msgValidBit;
+    syms["ST_TYPE_SHIFT"] = status::msgTypeShift;
+    syms["ST_IAFULL"] = 1ull << status::iafullBit;
+    syms["ST_OAFULL"] = 1ull << status::oafullBit;
+    syms["ST_EXC"] = 1ull << status::excPendingBit;
+
+    // CONTROL register fields.
+    syms["CT_STALL"] = 1ull << control::stallOnFullBit;
+    syms["CT_CHECKPIN"] = 1ull << control::checkPinBit;
+    syms["CT_INTEN"] = 1ull << control::intEnableBit;
+
+    // Global-word composition helpers.
+    syms["NODE_SHIFT"] = nodeShift;
+
+    return syms;
+}
+
+} // namespace ni
+} // namespace tcpni

@@ -1,0 +1,184 @@
+#include "noc/mesh.hh"
+
+#include "common/logging.hh"
+
+namespace tcpni
+{
+
+MeshNetwork::MeshNetwork(std::string name, EventQueue &eq, unsigned width,
+                         unsigned height, unsigned buffer_depth,
+                         unsigned cycles_per_word)
+    : Network(std::move(name), eq, width * height), width_(width),
+      height_(height), bufferDepth_(buffer_depth),
+      cyclesPerWord_(cycles_per_word), routers_(width * height),
+      tickEvent_(*this)
+{
+    tcpni_assert(width_ > 0 && height_ > 0);
+    tcpni_assert(bufferDepth_ > 0);
+    statGroup().addDistribution("latency", &latency_,
+                                "end-to-end message latency (cycles)");
+}
+
+MeshNetwork::Port
+MeshNetwork::route(NodeId here, NodeId dest) const
+{
+    tcpni_assert(here < numNodes() && dest < numNodes());
+    unsigned hx = here % width_, hy = here / width_;
+    unsigned dx = dest % width_, dy = dest / width_;
+    // Dimension-order: correct X first, then Y.
+    if (dx > hx)
+        return Port::east;
+    if (dx < hx)
+        return Port::west;
+    if (dy > hy)
+        return Port::south;
+    if (dy < hy)
+        return Port::north;
+    return Port::local;
+}
+
+NodeId
+MeshNetwork::neighbor(NodeId here, Port out) const
+{
+    unsigned hx = here % width_, hy = here / width_;
+    switch (out) {
+      case Port::east:
+        tcpni_assert(hx + 1 < width_);
+        return here + 1;
+      case Port::west:
+        tcpni_assert(hx > 0);
+        return here - 1;
+      case Port::south:
+        tcpni_assert(hy + 1 < height_);
+        return here + width_;
+      case Port::north:
+        tcpni_assert(hy > 0);
+        return here - width_;
+      default:
+        panic("neighbor() of local port");
+    }
+}
+
+MeshNetwork::Port
+MeshNetwork::inputPortFor(Port out)
+{
+    // A message leaving my east port arrives on the neighbor's west
+    // input, and so on.
+    switch (out) {
+      case Port::east: return Port::west;
+      case Port::west: return Port::east;
+      case Port::north: return Port::south;
+      case Port::south: return Port::north;
+      default: panic("inputPortFor(local)");
+    }
+}
+
+size_t
+MeshNetwork::queueDepth(NodeId node, Port port) const
+{
+    return routers_.at(node).inq[static_cast<unsigned>(port)].size();
+}
+
+bool
+MeshNetwork::offer(NodeId src, const Message &msg)
+{
+    tcpni_assert(src < numNodes());
+    if (msg.dest() >= numNodes()) {
+        panic("message addressed to nonexistent node %u: %s", msg.dest(),
+              msg.toString().c_str());
+    }
+    auto &q = routers_[src].inq[static_cast<unsigned>(Port::local)];
+    if (q.size() >= bufferDepth_)
+        return false;
+    q.push_back({msg, curTick(), curTick()});
+    ++injected_;
+    ++occupied_;
+    activate();
+    return true;
+}
+
+void
+MeshNetwork::activate()
+{
+    if (!tickEvent_.scheduled() && occupied_ > 0)
+        eventq().schedule(&tickEvent_, curTick() + 1);
+}
+
+bool
+MeshNetwork::idle() const
+{
+    return occupied_ == 0;
+}
+
+void
+MeshNetwork::tick()
+{
+    const Tick now = curTick();
+
+    for (NodeId r = 0; r < numNodes(); ++r) {
+        RouterState &router = routers_[r];
+        // Consider each output port in a fixed order; each forwards at
+        // most one message per cycle.
+        static const Port outputs[] = {Port::local, Port::north,
+                                       Port::south, Port::east,
+                                       Port::west};
+        for (Port out : outputs) {
+            unsigned out_idx = static_cast<unsigned>(out);
+            // Link serialization: a long message holds the port.
+            if (router.busyUntil[out_idx] > now)
+                continue;
+            // Round-robin over input ports for this output.
+            for (unsigned k = 0; k < numPorts; ++k) {
+                unsigned in_idx = (router.rr[out_idx] + k) % numPorts;
+                auto &q = router.inq[in_idx];
+                if (q.empty())
+                    continue;
+                InFlight &head = q.front();
+                // A message that already advanced this cycle (a router
+                // with a lower index pushed it downstream) must wait
+                // for the next cycle: one hop per cycle.
+                if (head.movedAt == now)
+                    continue;
+                if (route(r, head.msg.dest()) != out)
+                    continue;
+                const size_t head_len = head.msg.length();
+
+                bool moved = false;
+                if (out == Port::local) {
+                    if (deliver(head.msg)) {
+                        latency_.sample(
+                            static_cast<double>(now - head.injectTick));
+                        q.pop_front();
+                        --occupied_;
+                        moved = true;
+                    }
+                } else {
+                    NodeId dst = neighbor(r, out);
+                    auto &dq = routers_[dst]
+                        .inq[static_cast<unsigned>(inputPortFor(out))];
+                    if (dq.size() < bufferDepth_) {
+                        InFlight m = head;
+                        q.pop_front();
+                        m.movedAt = now;
+                        dq.push_back(std::move(m));
+                        moved = true;
+                    }
+                }
+                if (moved) {
+                    router.rr[out_idx] = (in_idx + 1) % numPorts;
+                    if (cyclesPerWord_ > 0) {
+                        router.busyUntil[out_idx] =
+                            now + static_cast<Tick>(cyclesPerWord_) *
+                                      head_len;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    if (occupied_ > 0)
+        eventq().schedule(&tickEvent_, now + 1);
+}
+
+} // namespace tcpni

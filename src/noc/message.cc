@@ -1,0 +1,21 @@
+#include "noc/message.hh"
+
+#include <cstdio>
+
+namespace tcpni
+{
+
+std::string
+Message::toString() const
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "msg[type=%u dst=%u src=%u pin=%u%s len=%zu "
+                  "w={%08x %08x %08x %08x %08x}]",
+                  type, dest(), src, pin, privileged ? " priv" : "",
+                  length(),
+                  words[0], words[1], words[2], words[3], words[4]);
+    return buf;
+}
+
+} // namespace tcpni

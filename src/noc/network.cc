@@ -1,0 +1,33 @@
+#include "noc/network.hh"
+
+namespace tcpni
+{
+
+IdealNetwork::IdealNetwork(std::string name, EventQueue &eq,
+                           unsigned num_nodes, Cycles latency)
+    : Network(std::move(name), eq, num_nodes), latency_(latency)
+{
+}
+
+bool
+IdealNetwork::offer(NodeId, const Message &msg)
+{
+    auto *ev = new DeliverEvent(*this, msg);
+    eventq().schedule(ev, curTick() + latency_);
+    ++inFlight_;
+    return true;
+}
+
+void
+IdealNetwork::DeliverEvent::process()
+{
+    if (net_.deliver(msg_)) {
+        --net_.inFlight_;
+        delete this;
+    } else {
+        // Destination refused; retry next cycle.
+        net_.eventq().schedule(this, net_.curTick() + 1);
+    }
+}
+
+} // namespace tcpni

@@ -1,0 +1,95 @@
+#include "sim/event_queue.hh"
+
+#include "common/logging.hh"
+
+namespace tcpni
+{
+
+Event::~Event()
+{
+    // Callers must deschedule an event before destroying it; the queue
+    // cannot detect the violation here without risking a throw from a
+    // destructor.
+}
+
+void
+EventQueue::schedule(Event *ev, Tick when)
+{
+    tcpni_assert(ev != nullptr);
+    if (ev->scheduled_)
+        panic("event '%s' scheduled twice", ev->name().c_str());
+    if (when < curTick_) {
+        panic("event '%s' scheduled in the past (%llu < %llu)",
+              ev->name().c_str(),
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(curTick_));
+    }
+    ev->when_ = when;
+    ev->seq_ = nextSeq_++;
+    ev->scheduled_ = true;
+    heap_.push(Entry{when, ev->priority_, ev->seq_, ev});
+    ++nscheduled_;
+}
+
+void
+EventQueue::deschedule(Event *ev)
+{
+    tcpni_assert(ev != nullptr);
+    if (!ev->scheduled_)
+        panic("deschedule of unscheduled event '%s'", ev->name().c_str());
+    // Lazy deletion: the heap entry becomes stale (its seq no longer
+    // matches once the event is rescheduled, and scheduled_ is false
+    // until then).
+    ev->scheduled_ = false;
+    --nscheduled_;
+}
+
+void
+EventQueue::reschedule(Event *ev, Tick when)
+{
+    if (ev->scheduled())
+        deschedule(ev);
+    schedule(ev, when);
+}
+
+bool
+EventQueue::step()
+{
+    while (!heap_.empty()) {
+        Entry e = heap_.top();
+        heap_.pop();
+        if (!live(e))
+            continue;
+        curTick_ = e.when;
+        e.ev->scheduled_ = false;
+        --nscheduled_;
+        ++numProcessed_;
+        e.ev->process();
+        return true;
+    }
+    return false;
+}
+
+Tick
+EventQueue::run(Tick max_tick)
+{
+    while (!heap_.empty()) {
+        const Entry &top = heap_.top();
+        if (!live(top)) {
+            heap_.pop();
+            continue;
+        }
+        if (top.when > max_tick)
+            break;
+        Entry e = top;
+        heap_.pop();
+        curTick_ = e.when;
+        e.ev->scheduled_ = false;
+        --nscheduled_;
+        ++numProcessed_;
+        e.ev->process();
+    }
+    return curTick_;
+}
+
+} // namespace tcpni

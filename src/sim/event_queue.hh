@@ -1,0 +1,166 @@
+/**
+ * @file
+ * The discrete-event kernel.
+ *
+ * A single EventQueue orders Events by (tick, priority, insertion
+ * sequence).  Events scheduled for the same tick and priority fire in
+ * the order they were scheduled, which keeps multi-node simulations
+ * deterministic.
+ */
+
+#ifndef TCPNI_SIM_EVENT_QUEUE_HH
+#define TCPNI_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace tcpni
+{
+
+class EventQueue;
+
+/**
+ * An event that can be scheduled on an EventQueue.
+ *
+ * Subclasses override process().  An event may be rescheduled from
+ * within its own process() method.  Events are externally owned; the
+ * queue never deletes them.
+ */
+class Event
+{
+  public:
+    /** Default priority bands; lower fires first within a tick. */
+    enum Priority : int
+    {
+        networkPri = 10,
+        niPri = 20,
+        cpuPri = 30,
+        defaultPri = 50,
+        statsPri = 90,
+    };
+
+    explicit Event(int priority = defaultPri) : priority_(priority) {}
+    virtual ~Event();
+
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
+
+    /** Called when the event fires. */
+    virtual void process() = 0;
+
+    /** A name for tracing and error messages. */
+    virtual std::string name() const { return "anon-event"; }
+
+    bool scheduled() const { return scheduled_; }
+    Tick when() const { return when_; }
+    int priority() const { return priority_; }
+
+  private:
+    friend class EventQueue;
+
+    Tick when_ = 0;
+    /** Sequence number of the latest schedule() of this event; heap
+     *  entries carrying an older number are stale and skipped. */
+    uint64_t seq_ = 0;
+    int priority_;
+    bool scheduled_ = false;
+};
+
+/** A convenience Event wrapping a std::function callback. */
+class LambdaEvent : public Event
+{
+  public:
+    explicit LambdaEvent(std::function<void()> fn,
+                         int priority = defaultPri)
+        : Event(priority), fn_(std::move(fn))
+    {}
+
+    void process() override { fn_(); }
+    std::string name() const override { return "lambda-event"; }
+
+  private:
+    std::function<void()> fn_;
+};
+
+/** The global event queue for one simulation. */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    /** Current simulated time. */
+    Tick curTick() const { return curTick_; }
+
+    /**
+     * Schedule @p ev at absolute tick @p when.
+     * Scheduling in the past, or double-scheduling, is a simulator bug.
+     */
+    void schedule(Event *ev, Tick when);
+
+    /** Remove a scheduled event; it will not fire. */
+    void deschedule(Event *ev);
+
+    /** Deschedule (if needed) and reschedule at a new time. */
+    void reschedule(Event *ev, Tick when);
+
+    /** True when no events remain. */
+    bool empty() const { return nscheduled_ == 0; }
+
+    /** Number of scheduled (non-squashed) events. */
+    size_t size() const { return nscheduled_; }
+
+    /**
+     * Run until the queue empties or @p max_tick passes.
+     * @return the tick of the last processed event.
+     */
+    Tick run(Tick max_tick = maxTick);
+
+    /** Process exactly one event, if any. @return true if one fired. */
+    bool step();
+
+    /** Total number of events processed so far. */
+    uint64_t numProcessed() const { return numProcessed_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int priority;
+        uint64_t seq;
+        Event *ev;
+    };
+
+    struct Cmp
+    {
+        bool operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.priority != b.priority)
+                return a.priority > b.priority;
+            return a.seq > b.seq;
+        }
+    };
+
+    /** True when a popped heap entry still refers to a live schedule. */
+    static bool
+    live(const Entry &e)
+    {
+        return e.ev->scheduled_ && e.ev->seq_ == e.seq;
+    }
+
+    Tick curTick_ = 0;
+    uint64_t nextSeq_ = 0;
+    uint64_t numProcessed_ = 0;
+    size_t nscheduled_ = 0;
+    std::priority_queue<Entry, std::vector<Entry>, Cmp> heap_;
+};
+
+} // namespace tcpni
+
+#endif // TCPNI_SIM_EVENT_QUEUE_HH

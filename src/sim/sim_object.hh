@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Base class for named simulation components.
+ */
+
+#ifndef TCPNI_SIM_SIM_OBJECT_HH
+#define TCPNI_SIM_SIM_OBJECT_HH
+
+#include <string>
+
+#include "common/stats.hh"
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace tcpni
+{
+
+/**
+ * A named component attached to an event queue.
+ *
+ * SimObjects expose a StatGroup for their counters and share the
+ * simulation's EventQueue.
+ */
+class SimObject
+{
+  public:
+    SimObject(std::string name, EventQueue &eq)
+        : name_(std::move(name)), eventq_(eventQueueRef(eq)),
+          statGroup_(name_)
+    {}
+
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    const std::string &name() const { return name_; }
+    EventQueue &eventq() { return eventq_; }
+    Tick curTick() const { return eventq_.curTick(); }
+
+    stats::StatGroup &statGroup() { return statGroup_; }
+    const stats::StatGroup &statGroup() const { return statGroup_; }
+
+  private:
+    static EventQueue &eventQueueRef(EventQueue &eq) { return eq; }
+
+    std::string name_;
+    EventQueue &eventq_;
+    stats::StatGroup statGroup_;
+};
+
+} // namespace tcpni
+
+#endif // TCPNI_SIM_SIM_OBJECT_HH

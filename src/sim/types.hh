@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Fundamental simulation types.
+ */
+
+#ifndef TCPNI_SIM_TYPES_HH
+#define TCPNI_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace tcpni
+{
+
+/** Simulated time, in processor clock cycles. */
+using Tick = uint64_t;
+
+/** A count of cycles (durations). */
+using Cycles = uint64_t;
+
+/** Sentinel for "no tick". */
+constexpr Tick maxTick = ~0ULL;
+
+/** A word of simulated 32-bit architectural state. */
+using Word = uint32_t;
+
+/** A local byte address within one node's memory. */
+using Addr = uint32_t;
+
+/** A node number in the machine. */
+using NodeId = uint32_t;
+
+} // namespace tcpni
+
+#endif // TCPNI_SIM_TYPES_HH

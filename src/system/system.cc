@@ -1,0 +1,80 @@
+#include "system/system.hh"
+
+#include "common/logging.hh"
+
+namespace tcpni
+{
+namespace sys
+{
+
+Node::Node(const std::string &name, EventQueue &eq, NodeId id,
+           Network &net, const NodeConfig &cfg)
+    : id_(id)
+{
+    mem_ = std::make_unique<Memory>(cfg.memBytes);
+    ni_ = std::make_unique<ni::NetworkInterface>(name + ".ni", eq, id,
+                                                 net, cfg.ni);
+    cpu_ = std::make_unique<Cpu>(name + ".cpu", eq, *mem_, ni_.get(),
+                                 cfg.cpu);
+}
+
+void
+Node::boot(const isa::Program &prog, Addr entry)
+{
+    cpu_->loadProgram(prog);
+    cpu_->reset(entry);
+    cpu_->start();
+}
+
+System::System(std::string name, unsigned width, unsigned height,
+               const NodeConfig &cfg)
+    : System(std::move(name), width, height,
+             std::vector<NodeConfig>(width * height, cfg))
+{
+}
+
+System::System(std::string name, unsigned width, unsigned height,
+               const std::vector<NodeConfig> &cfgs)
+{
+    tcpni_assert(cfgs.size() == static_cast<size_t>(width) * height);
+    mesh_ = std::make_unique<MeshNetwork>(name + ".mesh", eq_, width,
+                                          height);
+    for (NodeId id = 0; id < width * height; ++id) {
+        nodes_.push_back(std::make_unique<Node>(
+            name + ".node" + std::to_string(id), eq_, id, *mesh_,
+            cfgs[id]));
+    }
+    booted_.assign(nodes_.size(), false);
+}
+
+bool
+System::run(Tick max_ticks)
+{
+    // Run until the event queue empties (all CPUs halted and the
+    // fabric drained -- halted CPUs schedule no further events) or the
+    // deadline passes (e.g. a server is still polling).
+    Tick deadline = eq_.curTick() + max_ticks;
+    eq_.run(deadline);
+
+    bool quiesced = true;
+    for (auto &n : nodes_) {
+        if (n->cpu().instructions() > 0 && !n->cpu().halted())
+            quiesced = false;
+        if (n->ni().outputQueueLen() > 0)
+            quiesced = false;
+    }
+    if (!mesh_->idle())
+        quiesced = false;
+    return quiesced;
+}
+
+void
+System::dumpStats(std::ostream &os) const
+{
+    for (const auto &n : nodes_)
+        n->ni().statGroup().dump(os);
+    mesh_->statGroup().dump(os);
+}
+
+} // namespace sys
+} // namespace tcpni

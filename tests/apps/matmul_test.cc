@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "apps/matmul.hh"
+#include "common/logging.hh"
+
+using namespace tcpni;
+using namespace tcpni::apps;
+
+TEST(MatMul, SmallSizeVerifies)
+{
+    MatMulResult r = runMatMul(8, 4);
+    EXPECT_TRUE(r.verified);
+    EXPECT_GT(r.stats.totalMessages(), 100u);
+}
+
+TEST(MatMul, BadSizeIsFatal)
+{
+    EXPECT_THROW(runMatMul(10, 4), FatalError);
+    EXPECT_THROW(runMatMul(0, 4), FatalError);
+}
+
+TEST(MatMul, Deterministic)
+{
+    MatMulResult a = runMatMul(12, 4);
+    MatMulResult b = runMatMul(12, 4);
+    EXPECT_EQ(a.stats.totalMessages(), b.stats.totalMessages());
+    EXPECT_EQ(a.stats.flops(), b.stats.flops());
+    for (size_t i = 0; i < static_cast<size_t>(tam::MsgKind::numKinds);
+         ++i)
+        EXPECT_EQ(a.stats.msgs[i], b.stats.msgs[i]);
+}
+
+TEST(MatMul, FlopCountMatchesDimensions)
+{
+    // n^3 multiply-adds = 2 n^3 flops.
+    MatMulResult r = runMatMul(16, 4);
+    EXPECT_EQ(r.stats.flops(), 2ull * 16 * 16 * 16);
+}
+
+TEST(MatMul, MessageCountsScaleWithSize)
+{
+    // PRead requests: 2 per element per k-block per output block =
+    // 2 * n^2 * (n/4); PWrites: 2 n^2 init + n^2 results.
+    MatMulResult r = runMatMul(16, 4);
+    uint64_t preads = r.stats.msg(tam::MsgKind::preadFull) +
+                      r.stats.msg(tam::MsgKind::preadEmpty) +
+                      r.stats.msg(tam::MsgKind::preadDeferred);
+    EXPECT_EQ(preads, 2ull * 16 * 16 * 4);
+    EXPECT_EQ(r.stats.msg(tam::MsgKind::pwrite), 3ull * 16 * 16);
+}
+
+TEST(MatMul, MostFetchesAreFull)
+{
+    // The producer runs ahead of most consumers (the paper's Mint run
+    // likewise saw predominantly full PReads), but some fetches must
+    // defer thanks to the delayed tail initialization.
+    MatMulResult r = runMatMul(24, 4);
+    uint64_t full = r.stats.msg(tam::MsgKind::preadFull);
+    uint64_t not_full = r.stats.msg(tam::MsgKind::preadEmpty) +
+                        r.stats.msg(tam::MsgKind::preadDeferred);
+    EXPECT_GT(not_full, 0u);
+    EXPECT_GT(full, not_full * 4);
+}
+
+TEST(MatMul, DeferredReadersReleasedExactly)
+{
+    // Every deferred or empty PRead is eventually released by exactly
+    // one PWrite, and all replies add up.
+    MatMulResult r = runMatMul(24, 4);
+    uint64_t waiting = r.stats.msg(tam::MsgKind::preadEmpty) +
+                       r.stats.msg(tam::MsgKind::preadDeferred);
+    EXPECT_EQ(r.stats.pwriteReleases, waiting);
+    uint64_t preads = waiting + r.stats.msg(tam::MsgKind::preadFull);
+    // One reply per PRead (immediate or deferred) + none for writes.
+    EXPECT_EQ(r.stats.replies, preads);
+}
+
+TEST(MatMul, FlopsPerMessageNearPaper)
+{
+    // The paper quotes ~3 flops per message *sent* for this program.
+    MatMulResult r = runMatMul(40, 4);
+    uint64_t requests = r.stats.totalMessages() - r.stats.replies;
+    double per_request =
+        static_cast<double>(r.stats.flops()) / requests;
+    EXPECT_GT(per_request, 2.0);
+    EXPECT_LT(per_request, 6.0);
+}
+
+class MatMulSizes : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(MatMulSizes, Verifies)
+{
+    MatMulResult r = runMatMul(GetParam(), 4);
+    EXPECT_TRUE(r.verified);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MatMulSizes,
+                         ::testing::Values(4u, 8u, 12u, 20u, 28u));

@@ -1,0 +1,28 @@
+#include <gtest/gtest.h>
+
+#include "apps/pingpong.hh"
+
+using namespace tcpni;
+using namespace tcpni::apps;
+
+TEST(PingPong, ExchangesExactCount)
+{
+    PingPongResult r = runPingPong(100);
+    // Serve + 2*N exchanges (each side hits N times).
+    EXPECT_EQ(r.stats.msg(tam::MsgKind::send1), 201u);
+    EXPECT_EQ(r.finalValue, 200.0);
+}
+
+TEST(PingPong, PureSendProfile)
+{
+    PingPongResult r = runPingPong(10);
+    EXPECT_EQ(r.stats.msg(tam::MsgKind::read), 0u);
+    EXPECT_EQ(r.stats.msg(tam::MsgKind::pwrite), 0u);
+    EXPECT_EQ(r.stats.replies, 0u);
+}
+
+TEST(PingPong, ZeroTripsJustServes)
+{
+    PingPongResult r = runPingPong(0);
+    EXPECT_EQ(r.stats.msg(tam::MsgKind::send1), 1u);
+}

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "common/bitfield.hh"
+
+using namespace tcpni;
+
+TEST(Bitfield, MaskWidths)
+{
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(1), 1u);
+    EXPECT_EQ(mask(4), 0xfu);
+    EXPECT_EQ(mask(32), 0xffffffffu);
+    EXPECT_EQ(mask(64), ~0ULL);
+    EXPECT_EQ(mask(65), ~0ULL);
+}
+
+TEST(Bitfield, ExtractRange)
+{
+    uint64_t v = 0xdeadbeefcafef00dULL;
+    EXPECT_EQ(bits(v, 3, 0), 0xdu);
+    EXPECT_EQ(bits(v, 7, 4), 0x0u);
+    EXPECT_EQ(bits(v, 15, 0), 0xf00du);
+    EXPECT_EQ(bits(v, 63, 32), 0xdeadbeefu);
+    EXPECT_EQ(bits(v, 63, 0), v);
+}
+
+TEST(Bitfield, ExtractSingle)
+{
+    EXPECT_EQ(bits(0b1010u, 0), 0u);
+    EXPECT_EQ(bits(0b1010u, 1), 1u);
+    EXPECT_EQ(bits(0b1010u, 2), 0u);
+    EXPECT_EQ(bits(0b1010u, 3), 1u);
+}
+
+TEST(Bitfield, InsertBits)
+{
+    EXPECT_EQ(insertBits(0, 3, 0, 0xf), 0xfu);
+    EXPECT_EQ(insertBits(0xffffffffu, 7, 4, 0), 0xffffff0fu);
+    EXPECT_EQ(insertBits(0, 31, 26, 63), 0xfc000000u);
+    // Value wider than the field is truncated.
+    EXPECT_EQ(insertBits(0, 3, 0, 0x1ff), 0xfu);
+}
+
+TEST(Bitfield, InsertPreservesOthers)
+{
+    uint64_t v = 0x1234'5678u;
+    uint64_t w = insertBits(v, 15, 8, 0xab);
+    EXPECT_EQ(w, 0x1234'ab78u);
+}
+
+TEST(Bitfield, SignExtend)
+{
+    EXPECT_EQ(sext(0x8000, 16), -32768);
+    EXPECT_EQ(sext(0x7fff, 16), 32767);
+    EXPECT_EQ(sext(0xffff, 16), -1);
+    EXPECT_EQ(sext(0, 16), 0);
+    EXPECT_EQ(sext(0xf, 4), -1);
+    EXPECT_EQ(sext(0x7, 4), 7);
+}
+
+TEST(Bitfield, FitsSigned)
+{
+    EXPECT_TRUE(fitsSigned(32767, 16));
+    EXPECT_TRUE(fitsSigned(-32768, 16));
+    EXPECT_FALSE(fitsSigned(32768, 16));
+    EXPECT_FALSE(fitsSigned(-32769, 16));
+    EXPECT_TRUE(fitsSigned(0, 1));
+    EXPECT_TRUE(fitsSigned(-1, 1));
+    EXPECT_FALSE(fitsSigned(1, 1));
+}
+
+TEST(Bitfield, FitsUnsigned)
+{
+    EXPECT_TRUE(fitsUnsigned(65535, 16));
+    EXPECT_FALSE(fitsUnsigned(65536, 16));
+    EXPECT_TRUE(fitsUnsigned(0, 1));
+}
+
+// Round-trip property: inserting then extracting returns the value.
+class BitfieldRoundTrip : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(BitfieldRoundTrip, InsertExtract)
+{
+    unsigned last = GetParam();
+    unsigned first = last + 7;
+    for (uint64_t v : {0ULL, 1ULL, 0x5aULL, 0xffULL}) {
+        uint64_t w = insertBits(0xffffffffffffffffULL, first, last, v);
+        EXPECT_EQ(bits(w, first, last), v & 0xff);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Positions, BitfieldRoundTrip,
+                         ::testing::Values(0u, 4u, 13u, 24u, 42u, 56u));

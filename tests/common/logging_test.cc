@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+using namespace tcpni;
+
+TEST(Logging, PanicThrowsInTestMode)
+{
+    ASSERT_TRUE(logging::throwOnError);
+    EXPECT_THROW(panic("boom %d", 42), PanicError);
+}
+
+TEST(Logging, FatalThrowsInTestMode)
+{
+    EXPECT_THROW(fatal("user error: %s", "bad config"), FatalError);
+}
+
+TEST(Logging, PanicMessageFormatting)
+{
+    try {
+        panic("value=%d name=%s", 7, "seven");
+        FAIL() << "panic did not throw";
+    } catch (const PanicError &e) {
+        EXPECT_STREQ(e.what(), "value=7 name=seven");
+    }
+}
+
+TEST(Logging, FatalIsNotPanic)
+{
+    // FatalError and PanicError are distinct types under SimError.
+    EXPECT_THROW(fatal("x"), SimError);
+    try {
+        fatal("x");
+    } catch (const PanicError &) {
+        FAIL() << "fatal threw PanicError";
+    } catch (const FatalError &) {
+        SUCCEED();
+    }
+}
+
+TEST(Logging, AssertMacro)
+{
+    EXPECT_NO_THROW(tcpni_assert(1 + 1 == 2));
+    EXPECT_THROW(tcpni_assert(1 + 1 == 3), PanicError);
+}
+
+TEST(Logging, InformAndWarnDoNotThrow)
+{
+    bool saved = logging::quiet;
+    logging::quiet = true;
+    EXPECT_NO_THROW(inform("hello %d", 1));
+    EXPECT_NO_THROW(warn("careful %s", "there"));
+    logging::quiet = saved;
+}

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.hh"
+
+using namespace tcpni;
+
+TEST(Random, DeterministicFromSeed)
+{
+    Random a(12345), b(12345);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next32(), b.next32());
+}
+
+TEST(Random, DifferentSeedsDiffer)
+{
+    Random a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next32() == b.next32())
+            ++same;
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(Random, ReseedRestoresStream)
+{
+    Random a(99);
+    std::vector<uint32_t> first;
+    for (int i = 0; i < 10; ++i)
+        first.push_back(a.next32());
+    a.seed(99);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(a.next32(), first[i]);
+}
+
+TEST(Random, UniformRespectsBounds)
+{
+    Random r(7);
+    for (int i = 0; i < 10000; ++i) {
+        uint32_t v = r.uniform(10, 20);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 20u);
+    }
+}
+
+TEST(Random, UniformCoversRange)
+{
+    Random r(7);
+    std::set<uint32_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(r.uniform(0, 7));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Random, UniformSingleValue)
+{
+    Random r(3);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(r.uniform(5, 5), 5u);
+}
+
+TEST(Random, UniformDoubleInUnitInterval)
+{
+    Random r(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double v = r.uniformDouble();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    // Mean of U(0,1) is 0.5; a 10k-sample mean should be near it.
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Random, ExponentialMean)
+{
+    Random r(13);
+    double sum = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += r.exponential(3.0);
+    EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(Random, ChanceExtremes)
+{
+    Random r(17);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Random, ZeroSeedIsValid)
+{
+    Random r(0);
+    // Must not get stuck producing zeros.
+    int nonzero = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (r.next32() != 0)
+            ++nonzero;
+    }
+    EXPECT_GT(nonzero, 90);
+}

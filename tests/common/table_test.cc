@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/table.hh"
+
+using namespace tcpni;
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t;
+    t.header({"Action", "Count"});
+    t.row({"send", "2"});
+    t.row({"dispatch-long-name", "12345"});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+
+    // Both data rows contain the separator at the same column.
+    std::istringstream lines(out);
+    std::string header, sep, r1, r2;
+    std::getline(lines, header);
+    std::getline(lines, sep);
+    std::getline(lines, r1);
+    std::getline(lines, r2);
+    EXPECT_EQ(r1.find('|'), r2.find('|'));
+    EXPECT_EQ(header.find('|'), r1.find('|'));
+}
+
+TEST(TextTable, SeparatorRendersAsDashes)
+{
+    TextTable t;
+    t.header({"a"});
+    t.row({"x"});
+    t.separator();
+    t.row({"y"});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    // header separator + explicit separator = at least 2 dash lines
+    size_t dashes = 0;
+    std::istringstream lines(out);
+    std::string line;
+    while (std::getline(lines, line)) {
+        if (!line.empty() && line.find_first_not_of('-') ==
+                                 std::string::npos)
+            ++dashes;
+    }
+    EXPECT_EQ(dashes, 2u);
+}
+
+TEST(TextTable, ShortRowsPad)
+{
+    TextTable t;
+    t.header({"a", "b", "c"});
+    t.row({"1", "2", "3"});
+    std::ostringstream os;
+    EXPECT_NO_THROW(t.print(os));
+}

@@ -1,0 +1,361 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/logging.hh"
+#include "cpu/cpu.hh"
+#include "isa/assembler.hh"
+#include "ni/ni_regs.hh"
+#include "noc/network.hh"
+
+using namespace tcpni;
+using namespace tcpni::ni;
+
+namespace
+{
+
+/** A two-node machine: each node has memory, an NI, and a CPU. */
+struct Machine
+{
+    EventQueue eq;
+    IdealNetwork net{"net", eq, 2, 1};
+    Memory mem0{256 * 1024}, mem1{256 * 1024};
+    std::unique_ptr<NetworkInterface> ni0, ni1;
+    std::unique_ptr<Cpu> cpu0, cpu1;
+
+    explicit Machine(NiConfig cfg)
+    {
+        ni0 = std::make_unique<NetworkInterface>("ni0", eq, 0, net, cfg);
+        ni1 = std::make_unique<NetworkInterface>("ni1", eq, 1, net, cfg);
+        cpu0 = std::make_unique<Cpu>("cpu0", eq, mem0, ni0.get());
+        cpu1 = std::make_unique<Cpu>("cpu1", eq, mem1, ni1.get());
+    }
+
+    isa::Program
+    loadAndStart(Cpu &cpu, const std::string &src)
+    {
+        isa::Program p = isa::assemble(src, asmSymbols());
+        cpu.loadProgram(p);
+        cpu.reset(p.base);
+        cpu.start();
+        return p;
+    }
+
+    /** Send a message from node 0's NI directly (no CPU involved). */
+    void
+    injectFrom0(uint8_t type, Word local0, Word w1 = 0, Word w2 = 0,
+                Word w3 = 0, Word w4 = 0)
+    {
+        ni0->writeReg(regO0, globalWord(1, local0));
+        ni0->writeReg(regO1, w1);
+        ni0->writeReg(regO2, w2);
+        ni0->writeReg(regO3, w3);
+        ni0->writeReg(regO4, w4);
+        isa::NiCommand c;
+        c.mode = isa::SendMode::send;
+        c.type = type;
+        ni0->command(c);
+    }
+};
+
+NiConfig
+regMapped()
+{
+    NiConfig c;
+    c.placement = Placement::registerFile;
+    return c;
+}
+
+NiConfig
+cacheMapped(Placement p)
+{
+    NiConfig c;
+    c.placement = p;
+    return c;
+}
+
+} // namespace
+
+TEST(RegMappedCoupling, OutputRegsAreRegisters)
+{
+    Machine m(regMapped());
+    m.loadAndStart(*m.cpu0, R"(
+        li  o0, (1 << 24) | 0x100
+        lis o1, 0x42
+        halt
+    )");
+    m.eq.run();
+    EXPECT_EQ(m.ni0->readReg(regO0), globalWord(1, 0x100));
+    EXPECT_EQ(m.ni0->readReg(regO1), 0x42u);
+}
+
+TEST(RegMappedCoupling, SendViaInstructionBits)
+{
+    Machine m(regMapped());
+    m.loadAndStart(*m.cpu0, R"(
+        li  o0, (1 << 24) | 0x0
+        lis o1, 7
+        lis o2, 9
+        add o3, o1, o2 !send=5
+        halt
+    )");
+    m.eq.run();
+    ASSERT_TRUE(m.ni1->msgValid());
+    EXPECT_EQ(m.ni1->currentType(), 5);
+    EXPECT_EQ(m.ni1->readReg(regI1), 7u);
+    EXPECT_EQ(m.ni1->readReg(regI2), 9u);
+    EXPECT_EQ(m.ni1->readReg(regI3), 16u);  // computed into o3 same insn
+}
+
+TEST(RegMappedCoupling, InputRegsReadableAndNext)
+{
+    Machine m(regMapped());
+    m.injectFrom0(6, 0, 0x11, 0x22);
+    m.injectFrom0(7, 0, 0x33);
+    m.eq.run();
+
+    m.loadAndStart(*m.cpu1, R"(
+        add r1, i1, r0
+        add r2, i2, r0
+        next
+        add r3, i1, r0
+        add r4, status, r0
+        halt
+    )");
+    m.eq.run();
+    EXPECT_EQ(m.cpu1->reg(1), 0x11u);
+    EXPECT_EQ(m.cpu1->reg(2), 0x22u);
+    EXPECT_EQ(m.cpu1->reg(3), 0x33u);
+    // STATUS msgValid bit visible through the register file.
+    EXPECT_EQ(bits(m.cpu1->reg(4), status::msgValidBit), 1u);
+}
+
+TEST(RegMappedCoupling, NiRegsNeverInterlock)
+{
+    Machine m(regMapped());
+    m.injectFrom0(6, 0, 5);
+    m.eq.run();
+    m.loadAndStart(*m.cpu1, R"(
+        add r1, i1, i1
+        add r2, r1, r1
+        halt
+    )");
+    m.eq.run();
+    EXPECT_EQ(m.cpu1->reg(2), 20u);
+    EXPECT_EQ(m.cpu1->stallCycles(), 0u);
+}
+
+TEST(RegMappedCoupling, TwoInstructionRemoteReadServer)
+{
+    // The paper's headline: "a register-mapped interface can receive,
+    // process, and reply to a remote read request in a total of two
+    // RISC instructions" -- a jump through NextMsgIp whose delay slot
+    // holds a fused load/SEND-reply/NEXT.
+    Machine m(regMapped());
+
+    // Server data.
+    m.mem1.write(0x100, 0xaaa);
+    m.mem1.write(0x104, 0xbbb);
+    m.mem1.write(0x108, 0xccc);
+
+    m.loadAndStart(*m.cpu1, R"(
+        .org 0x4000
+        ; slot 0 (type 0000): poll handler -- spin on MsgIp.
+        poll:
+            jmp msgip
+            nop
+            .align HANDLER_STRIDE
+
+        ; slot 1: exception handler (unused here).
+        exc:
+            halt
+            .align HANDLER_STRIDE
+
+        ; slot 2 (unused).
+            halt
+            .align HANDLER_STRIDE
+
+        ; slot 3: remote read. Two instructions per message:
+        ;   dispatch on the next message, and in the delay slot load
+        ;   the requested word into o2, SEND-reply it, and advance.
+        read:
+            jmp nextmsgip
+            ld o2, i0, r0 !reply=4 !next
+            .align HANDLER_STRIDE
+
+        ; slots 4..14 unused.
+            .space (HANDLER_STRIDE/4) * 11
+
+        ; slot 15: stop message halts the server.
+        stop:
+            halt
+            .align HANDLER_STRIDE
+
+        start:
+            li   ipbase, 0x4000
+            br   poll
+            nop
+    )");
+    // Enter at `start` (after the table).
+    m.cpu1->reset(0x4000 + 16 * 128);
+    m.cpu1->start();
+
+    // Three read requests; the reply continuation is (FP, IP) =
+    // (node-0 global word, arbitrary IP); then a stop.
+    m.injectFrom0(3, 0x100, globalWord(0, 0x10), 0x1111);
+    m.injectFrom0(3, 0x104, globalWord(0, 0x20), 0x2222);
+    m.injectFrom0(3, 0x108, globalWord(0, 0x30), 0x3333);
+    m.injectFrom0(15, 0);
+    m.eq.run();
+
+    EXPECT_TRUE(m.cpu1->halted());
+
+    // Node 0 received three type-4 replies carrying FP, IP, value.
+    ASSERT_TRUE(m.ni0->msgValid());
+    EXPECT_EQ(m.ni0->currentType(), 4);
+    EXPECT_EQ(m.ni0->readReg(regI0), globalWord(0, 0x10));
+    EXPECT_EQ(m.ni0->readReg(regI1), 0x1111u);
+    EXPECT_EQ(m.ni0->readReg(regI2), 0xaaau);
+
+    isa::NiCommand next;
+    next.next = true;
+    m.ni0->command(next);
+    EXPECT_EQ(m.ni0->readReg(regI2), 0xbbbu);
+    m.ni0->command(next);
+    EXPECT_EQ(m.ni0->readReg(regI2), 0xcccu);
+}
+
+TEST(CacheMappedCoupling, StoreAndSend)
+{
+    Machine m(cacheMapped(Placement::onChipCache));
+    m.loadAndStart(*m.cpu0, R"(
+        li  r10, NI_BASE
+        li  r1, (1 << 24) | 0x0
+        sti r1, r10, NI_O0
+        lis r2, 0x55
+        sti r2, r10, NI_O1
+        ; final store carries the SEND command and the type
+        lis r3, 0x66
+        sti r3, r10, NI_O2 | NI_SEND | NI_TYPE*6
+        halt
+    )");
+    m.eq.run();
+    ASSERT_TRUE(m.ni1->msgValid());
+    EXPECT_EQ(m.ni1->currentType(), 6);
+    EXPECT_EQ(m.ni1->readReg(regI1), 0x55u);
+    EXPECT_EQ(m.ni1->readReg(regI2), 0x66u);
+}
+
+TEST(CacheMappedCoupling, LoadWithReplyAndNext)
+{
+    // The Figure-9 example access: one load returns i1, sends a
+    // type-7 reply, and advances the input registers.
+    Machine m(cacheMapped(Placement::onChipCache));
+    m.injectFrom0(5, 0x0, globalWord(0, 0x88), 0x99);
+    m.injectFrom0(6, 0x0, 0x77);
+    m.eq.run();
+
+    m.ni1->writeReg(regO2, 0xd00d);
+    m.loadAndStart(*m.cpu1, R"(
+        li  r10, NI_BASE
+        ldi r1, r10, NI_I1 | NI_REPLY | NI_TYPE*7 | NI_NEXT
+        halt
+    )");
+    m.eq.run();
+
+    // The load returned i1's pre-NEXT value.
+    EXPECT_EQ(m.cpu1->reg(1), globalWord(0, 0x88));
+    // NEXT advanced to the second message.
+    EXPECT_EQ(m.ni1->currentType(), 6);
+    EXPECT_EQ(m.ni1->readReg(regI1), 0x77u);
+    // The reply went back to node 0 headed by (i1, i2).
+    ASSERT_TRUE(m.ni0->msgValid());
+    EXPECT_EQ(m.ni0->currentType(), 7);
+    EXPECT_EQ(m.ni0->readReg(regI0), globalWord(0, 0x88));
+    EXPECT_EQ(m.ni0->readReg(regI1), 0x99u);
+    EXPECT_EQ(m.ni0->readReg(regI2), 0xd00du);
+}
+
+TEST(CacheMappedCoupling, StatusPolling)
+{
+    Machine m(cacheMapped(Placement::onChipCache));
+    m.injectFrom0(4, 0);
+    m.eq.run();
+    m.loadAndStart(*m.cpu1, R"(
+        li   r10, NI_BASE
+        ldi  r1, r10, NI_STATUS
+        andi r2, r1, 0xffff     ; queue lengths
+        halt
+    )");
+    m.eq.run();
+    EXPECT_EQ(bits(m.cpu1->reg(1), status::msgValidBit), 1u);
+}
+
+TEST(CacheMappedCoupling, OffChipLoadUseDelay)
+{
+    // Off-chip: a loaded NI value is unusable for two cycles; using it
+    // immediately costs two interlock stalls (Section 3.1).
+    Machine off(cacheMapped(Placement::offChipCache));
+    off.injectFrom0(4, 0, 21);
+    off.eq.run();
+    off.loadAndStart(*off.cpu1, R"(
+        li   r10, NI_BASE
+        ldi  r1, r10, NI_I1
+        addi r2, r1, 1
+        halt
+    )");
+    off.eq.run();
+    EXPECT_EQ(off.cpu1->reg(2), 22u);
+    EXPECT_EQ(off.cpu1->stallCycles(), 2u);
+
+    Machine on(cacheMapped(Placement::onChipCache));
+    on.injectFrom0(4, 0, 21);
+    on.eq.run();
+    on.loadAndStart(*on.cpu1, R"(
+        li   r10, NI_BASE
+        ldi  r1, r10, NI_I1
+        addi r2, r1, 1
+        halt
+    )");
+    on.eq.run();
+    EXPECT_EQ(on.cpu1->stallCycles(), 0u);
+}
+
+TEST(CacheMappedCoupling, ConfigurableOffChipLatency)
+{
+    // Section 4.2.3: raise the off-chip read latency from 2 to 8.
+    NiConfig cfg = cacheMapped(Placement::offChipCache);
+    cfg.offChipLoadUseDelay = 8;
+    Machine m(cfg);
+    m.injectFrom0(4, 0, 21);
+    m.eq.run();
+    m.loadAndStart(*m.cpu1, R"(
+        li   r10, NI_BASE
+        ldi  r1, r10, NI_I1
+        addi r2, r1, 1
+        halt
+    )");
+    m.eq.run();
+    EXPECT_EQ(m.cpu1->stallCycles(), 8u);
+}
+
+TEST(CacheMappedCoupling, NiBitsOnTriadicPanicWithoutRegFile)
+{
+    Machine m(cacheMapped(Placement::onChipCache));
+    m.loadAndStart(*m.cpu0, R"(
+        add r1, r2, r3 !next
+        halt
+    )");
+    EXPECT_THROW(m.eq.run(), PanicError);
+}
+
+TEST(RegMappedCoupling, CacheWindowPanicsWithRegFileNi)
+{
+    Machine m(regMapped());
+    m.loadAndStart(*m.cpu0, R"(
+        li  r10, NI_BASE
+        ldi r1, r10, NI_STATUS
+        halt
+    )");
+    EXPECT_THROW(m.eq.run(), PanicError);
+}

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/logging.hh"
+#include "cpu/cpu.hh"
+#include "isa/assembler.hh"
+#include "msg/kernels.hh"
+#include "ni/ni_regs.hh"
+#include "noc/network.hh"
+
+using namespace tcpni;
+using namespace tcpni::ni;
+
+namespace
+{
+
+/** Two register-mapped nodes; node 1's CPU runs interrupt-driven. */
+struct IntRig
+{
+    EventQueue eq;
+    IdealNetwork net{"net", eq, 2, 1};
+    Memory mem0{1 << 20}, mem1{1 << 20};
+    std::unique_ptr<NetworkInterface> ni0, ni1;
+    std::unique_ptr<Cpu> cpu1;
+
+    IntRig()
+    {
+        NiConfig cfg;
+        cfg.placement = Placement::registerFile;
+        ni0 = std::make_unique<NetworkInterface>("ni0", eq, 0, net,
+                                                 cfg);
+        ni1 = std::make_unique<NetworkInterface>("ni1", eq, 1, net,
+                                                 cfg);
+        cpu1 = std::make_unique<Cpu>("cpu1", eq, mem1, ni1.get());
+    }
+
+    void
+    sendType(uint8_t type, Word w1 = 0)
+    {
+        ni0->writeReg(regO0, globalWord(1, 0));
+        ni0->writeReg(regO1, w1);
+        isa::NiCommand c;
+        c.mode = isa::SendMode::send;
+        c.type = type;
+        ni0->command(c);
+    }
+
+    void
+    boot(const std::string &src)
+    {
+        isa::Program p = msg::assembleKernel(src);
+        cpu1->loadProgram(p);
+        cpu1->reset(p.addrOf("entry"));
+        cpu1->start();
+    }
+};
+
+/**
+ * An interrupt-driven server: the main "application" loop counts
+ * iterations at 0x500; type-2 message handlers run as interrupts,
+ * appending the message's word 1 at 0x600+, and resume the loop.
+ * The conventional epilogue re-enables interrupts in the delay slot
+ * of the `jmp r14` return, so an arrival in the NEXT..return window
+ * cannot be lost and r14 cannot be clobbered mid-handler.
+ */
+const char *interruptServer = R"(
+    .org 0x4000
+poll:                          ; slot 0: unused under interrupts
+    jmp  msgip
+    nop
+    .align HANDLER_STRIDE
+exc:
+    halt
+    .align HANDLER_STRIDE
+h2:                            ; slot 2: the interrupt handler
+    ldi  r1, r0, 0x604         ; cursor
+    st   i1, r1, r0 !next      ; store payload, advance input regs
+    addi r1, r1, 4
+    sti  r1, r0, 0x604
+    jmp  r14                   ; return to the interrupted code...
+    ori  control, control, CT_INTEN   ; ...re-enabling in the delay slot
+    .align HANDLER_STRIDE
+    .space (HANDLER_STRIDE/4) * 12
+stop:
+    halt
+    .align HANDLER_STRIDE
+
+entry:
+    li   ipbase, 0x4000
+    lis  r1, 0x608
+    sti  r1, r0, 0x604         ; payload cursor
+    ori  control, control, CT_INTEN
+    ; the application: count loop iterations until told to stop
+loop:
+    ldi  r2, r0, 0x500
+    addi r2, r2, 1
+    sti  r2, r0, 0x500
+    ldi  r3, r0, 0x700         ; stop flag (set by the test)
+    beqz r3, loop
+    nop
+    halt
+)";
+
+} // namespace
+
+TEST(InterruptDriven, HandlerRunsAndResumes)
+{
+    IntRig rig;
+    rig.boot(interruptServer);
+
+    // Let the application loop spin a while, then interrupt it.
+    rig.eq.run(200);
+    Word count_before = rig.mem1.read(0x500);
+    EXPECT_GT(count_before, 5u);
+
+    rig.sendType(2, 0xaaaa);
+    rig.eq.run(rig.eq.curTick() + 100);
+
+    EXPECT_EQ(rig.cpu1->interruptsTaken(), 1u);
+    EXPECT_EQ(rig.ni1->numReceived(), 1u);
+    EXPECT_EQ(rig.mem1.read(0x608), 0xaaaau);
+    // The application kept running afterwards.
+    Word count_after = rig.mem1.read(0x500);
+    EXPECT_GT(count_after, count_before);
+
+    rig.mem1.write(0x700, 1);
+    rig.eq.run(rig.eq.curTick() + 100);
+    EXPECT_TRUE(rig.cpu1->halted());
+}
+
+TEST(InterruptDriven, BackToBackMessagesAllHandled)
+{
+    IntRig rig;
+    rig.boot(interruptServer);
+    rig.eq.run(50);
+
+    for (Word k = 0; k < 5; ++k)
+        rig.sendType(2, 0x100 + k);
+    rig.eq.run(rig.eq.curTick() + 500);
+
+    // Every message was handled exactly once, in order.
+    for (Word k = 0; k < 5; ++k)
+        EXPECT_EQ(rig.mem1.read(0x608 + 4 * k), 0x100 + k);
+    EXPECT_EQ(rig.cpu1->interruptsTaken(), 5u);
+
+    rig.mem1.write(0x700, 1);
+    rig.eq.run(rig.eq.curTick() + 100);
+    EXPECT_TRUE(rig.cpu1->halted());
+}
+
+TEST(InterruptDriven, DisabledMeansNoInterrupt)
+{
+    IntRig rig;
+    // Same server but without enabling interrupts: arrivals just sit
+    // in the input registers.
+    std::string src = interruptServer;
+    size_t pos = src.find("    ori  control, control, CT_INTEN\n"
+                          "    ; the application");
+    ASSERT_NE(pos, std::string::npos);
+    src.replace(pos, std::string("    ori  control, control, "
+                                 "CT_INTEN\n").size(), "");
+    rig.boot(src);
+    rig.eq.run(50);
+
+    rig.sendType(2, 0x55);
+    rig.eq.run(rig.eq.curTick() + 200);
+    EXPECT_EQ(rig.cpu1->interruptsTaken(), 0u);
+    EXPECT_TRUE(rig.ni1->msgValid());
+
+    rig.mem1.write(0x700, 1);
+    rig.eq.run(rig.eq.curTick() + 100);
+    EXPECT_TRUE(rig.cpu1->halted());
+}
+
+TEST(InterruptDriven, ReenableWithPendingMessageFiresImmediately)
+{
+    // Level-triggered semantics: two messages arrive while the first
+    // is being handled; re-enabling fires again for the second.
+    IntRig rig;
+    rig.boot(interruptServer);
+    rig.eq.run(50);
+
+    rig.sendType(2, 1);
+    rig.sendType(2, 2);
+    rig.sendType(2, 3);
+    rig.eq.run(rig.eq.curTick() + 400);
+    EXPECT_EQ(rig.cpu1->interruptsTaken(), 3u);
+    EXPECT_EQ(rig.mem1.read(0x608), 1u);
+    EXPECT_EQ(rig.mem1.read(0x60c), 2u);
+    EXPECT_EQ(rig.mem1.read(0x610), 3u);
+
+    rig.mem1.write(0x700, 1);
+    rig.eq.run(rig.eq.curTick() + 100);
+    EXPECT_TRUE(rig.cpu1->halted());
+}
+
+TEST(InterruptDriven, EnableBitClearsOnDelivery)
+{
+    IntRig rig;
+    rig.boot(interruptServer);
+    rig.eq.run(50);
+    EXPECT_EQ(bits(rig.ni1->readReg(regControl),
+                   control::intEnableBit), 1u);
+    rig.sendType(2, 7);
+    rig.eq.run(rig.eq.curTick() + 200);
+    EXPECT_EQ(rig.cpu1->interruptsTaken(), 1u);
+    // After the handler's epilogue the enable bit is set again.
+    EXPECT_EQ(bits(rig.ni1->readReg(regControl),
+                   control::intEnableBit), 1u);
+
+    rig.mem1.write(0x700, 1);
+    rig.eq.run(rig.eq.curTick() + 100);
+}

@@ -1,0 +1,323 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "isa/assembler.hh"
+
+using namespace tcpni;
+using namespace tcpni::isa;
+
+namespace
+{
+
+Instruction
+instAt(const Program &p, size_t idx)
+{
+    return decode(p.words.at(idx));
+}
+
+} // namespace
+
+TEST(Assembler, SimpleInstruction)
+{
+    Program p = assemble("add r1, r2, r3\n");
+    ASSERT_EQ(p.words.size(), 1u);
+    Instruction i = instAt(p, 0);
+    EXPECT_EQ(i.op, Opcode::add);
+    EXPECT_EQ(i.rd, 1);
+    EXPECT_EQ(i.rs1, 2);
+    EXPECT_EQ(i.rs2, 3);
+}
+
+TEST(Assembler, CommentsAndBlankLines)
+{
+    Program p = assemble(R"(
+        ; a comment
+        // another comment
+        add r1, r2, r3   ; trailing comment
+
+        sub r4, r5, r6   // trailing too
+    )");
+    ASSERT_EQ(p.words.size(), 2u);
+    EXPECT_EQ(instAt(p, 1).op, Opcode::sub);
+}
+
+TEST(Assembler, NiAliases)
+{
+    Program p = assemble("add o2, i1, i2\n");
+    Instruction i = instAt(p, 0);
+    EXPECT_EQ(i.rd, 18);
+    EXPECT_EQ(i.rs1, 22);
+    EXPECT_EQ(i.rs2, 23);
+}
+
+TEST(Assembler, NiClauses)
+{
+    Program p = assemble("add o1, i1, i2 !send=5 !next\n");
+    Instruction i = instAt(p, 0);
+    EXPECT_EQ(i.ni.mode, SendMode::send);
+    EXPECT_EQ(i.ni.type, 5);
+    EXPECT_TRUE(i.ni.next);
+}
+
+TEST(Assembler, ReplyForwardClauses)
+{
+    Program p = assemble(
+        "ld o2, i0, r0 !reply=7\n"
+        "st r1, r2, r3 !forward=3 !next\n");
+    EXPECT_EQ(instAt(p, 0).ni.mode, SendMode::reply);
+    EXPECT_EQ(instAt(p, 0).ni.type, 7);
+    EXPECT_EQ(instAt(p, 1).ni.mode, SendMode::forward);
+    EXPECT_TRUE(instAt(p, 1).ni.next);
+}
+
+TEST(Assembler, ClauseOnImmediateFormFails)
+{
+    EXPECT_THROW(assemble("addi r1, r2, 4 !next\n"), SimError);
+}
+
+TEST(Assembler, LabelsAndBranches)
+{
+    Program p = assemble(R"(
+        start:
+            addi r1, r0, 10
+        loop:
+            addi r1, r1, -1
+            bnez r1, loop
+            nop
+            halt
+    )");
+    EXPECT_EQ(p.addrOf("start"), 0u);
+    EXPECT_EQ(p.addrOf("loop"), 4u);
+    // bnez at address 8: offset = (4 - 12) / 4 = -2
+    Instruction b = instAt(p, 2);
+    EXPECT_EQ(b.op, Opcode::bnez);
+    EXPECT_EQ(b.imm, -2);
+}
+
+TEST(Assembler, ForwardReferences)
+{
+    Program p = assemble(R"(
+            br done
+            nop
+            nop
+        done:
+            halt
+    )");
+    Instruction b = instAt(p, 0);
+    EXPECT_EQ(b.op, Opcode::br);
+    EXPECT_EQ(b.imm, 2);    // target 12, pc+4 = 4, (12-4)/4 = 2
+}
+
+TEST(Assembler, OrgSetsBase)
+{
+    Program p = assemble(R"(
+        .org 0x1000
+        entry:
+            nop
+    )");
+    EXPECT_EQ(p.base, 0x1000u);
+    EXPECT_EQ(p.addrOf("entry"), 0x1000u);
+}
+
+TEST(Assembler, EquAndExpressions)
+{
+    Program p = assemble(R"(
+        .equ BASE, 0x100
+        .equ OFF, (1<<4) | 3
+        ldi r1, r2, BASE + OFF
+    )");
+    EXPECT_EQ(instAt(p, 0).imm, 0x113);
+}
+
+TEST(Assembler, ExpressionPrecedence)
+{
+    Program p = assemble(".word 2 + 3 * 4\n"
+                         ".word (2 + 3) * 4\n"
+                         ".word 1 << 4 | 1 << 2\n"
+                         ".word 0xff & 0x0f\n"
+                         ".word ~0 & 0xffff\n"
+                         ".word 10 % 3\n"
+                         ".word 7 / 2\n");
+    EXPECT_EQ(p.words[0], 14u);
+    EXPECT_EQ(p.words[1], 20u);
+    EXPECT_EQ(p.words[2], 20u);
+    EXPECT_EQ(p.words[3], 0xfu);
+    EXPECT_EQ(p.words[4], 0xffffu);
+    EXPECT_EQ(p.words[5], 1u);
+    EXPECT_EQ(p.words[6], 3u);
+}
+
+TEST(Assembler, NumberBases)
+{
+    Program p = assemble(".word 0x10\n.word 0b101\n.word 1_000\n");
+    EXPECT_EQ(p.words[0], 16u);
+    EXPECT_EQ(p.words[1], 5u);
+    EXPECT_EQ(p.words[2], 1000u);
+}
+
+TEST(Assembler, Hi16Lo16)
+{
+    Program p = assemble(".equ V, 0x12345678\n"
+                         ".word hi16(V)\n"
+                         ".word lo16(V)\n");
+    EXPECT_EQ(p.words[0], 0x1234u);
+    EXPECT_EQ(p.words[1], 0x5678u);
+}
+
+TEST(Assembler, LiExpandsToTwoWords)
+{
+    Program p = assemble("li r5, 0x12345678\nhalt\n");
+    ASSERT_EQ(p.words.size(), 3u);
+    Instruction hi = instAt(p, 0);
+    Instruction lo = instAt(p, 1);
+    EXPECT_EQ(hi.op, Opcode::lui);
+    EXPECT_EQ(hi.imm, 0x1234);
+    EXPECT_EQ(lo.op, Opcode::ori);
+    EXPECT_EQ(lo.imm, 0x5678);
+    EXPECT_EQ(lo.rd, 5);
+    EXPECT_EQ(lo.rs1, 5);
+}
+
+TEST(Assembler, LiSizingWithForwardLabel)
+{
+    // li before a label must still give the label the right address.
+    Program p = assemble(R"(
+            li r1, target
+            br target
+            nop
+        target:
+            halt
+    )");
+    EXPECT_EQ(p.addrOf("target"), 16u);
+}
+
+TEST(Assembler, Pseudos)
+{
+    Program p = assemble(R"(
+        nop
+        mov r3, r4
+        lis r5, -7
+        send 5
+        reply 3
+        forward 2
+        next
+        ret
+    )");
+    EXPECT_EQ(instAt(p, 0).op, Opcode::add);
+    EXPECT_EQ(instAt(p, 1).rs1, 4);
+    EXPECT_EQ(instAt(p, 2).imm, -7);
+    EXPECT_EQ(instAt(p, 3).ni.mode, SendMode::send);
+    EXPECT_EQ(instAt(p, 3).ni.type, 5);
+    EXPECT_EQ(instAt(p, 4).ni.mode, SendMode::reply);
+    EXPECT_EQ(instAt(p, 5).ni.mode, SendMode::forward);
+    EXPECT_TRUE(instAt(p, 6).ni.next);
+    EXPECT_EQ(instAt(p, 7).op, Opcode::jmp);
+    EXPECT_EQ(instAt(p, 7).rs1, 31);
+}
+
+TEST(Assembler, SendWithNextClause)
+{
+    Program p = assemble("send 5 !next\n");
+    Instruction i = instAt(p, 0);
+    EXPECT_EQ(i.ni.mode, SendMode::send);
+    EXPECT_TRUE(i.ni.next);
+}
+
+TEST(Assembler, CallAndJmpl)
+{
+    Program p = assemble(R"(
+            call f
+            nop
+            halt
+        f:
+            jmpl r9, r4
+    )");
+    Instruction c = instAt(p, 0);
+    EXPECT_EQ(c.op, Opcode::br);
+    EXPECT_EQ(c.rd, 31);
+    Instruction j = instAt(p, 3);
+    EXPECT_EQ(j.op, Opcode::jmp);
+    EXPECT_EQ(j.rd, 9);
+    EXPECT_EQ(j.rs1, 4);
+}
+
+TEST(Assembler, Regions)
+{
+    Program p = assemble(R"(
+        .region sending
+            nop
+            nop
+        .region processing
+            nop
+        .region sending
+            nop
+    )");
+    ASSERT_EQ(p.words.size(), 4u);
+    uint16_t s = p.regionId("sending");
+    uint16_t pr = p.regionId("processing");
+    EXPECT_EQ(p.regionOf[0], s);
+    EXPECT_EQ(p.regionOf[1], s);
+    EXPECT_EQ(p.regionOf[2], pr);
+    EXPECT_EQ(p.regionOf[3], s);
+}
+
+TEST(Assembler, SpaceAndAlign)
+{
+    Program p = assemble(R"(
+            nop
+            .space 3
+            .align 16
+        here:
+            nop
+    )");
+    EXPECT_EQ(p.addrOf("here"), 16u);
+    EXPECT_EQ(p.words.size(), 5u);
+}
+
+TEST(Assembler, WordDirective)
+{
+    Program p = assemble("data: .word 0xcafebabe\n");
+    EXPECT_EQ(p.words[0], 0xcafebabeu);
+}
+
+TEST(Assembler, PredefinedSymbols)
+{
+    std::map<std::string, uint64_t> pre{{"MAGIC", 0x42}};
+    Program p = assemble(".word MAGIC\n", pre);
+    EXPECT_EQ(p.words[0], 0x42u);
+}
+
+TEST(Assembler, Errors)
+{
+    EXPECT_THROW(assemble("frobnicate r1\n"), SimError);
+    EXPECT_THROW(assemble("add r1, r2\n"), SimError);        // missing op
+    EXPECT_THROW(assemble("add r1, r2, r99\n"), SimError);   // bad reg
+    EXPECT_THROW(assemble("br nowhere\n"), SimError);        // undef label
+    EXPECT_THROW(assemble("x: nop\nx: nop\n"), SimError);    // redefined
+    EXPECT_THROW(assemble(".word 1 +\n"), SimError);         // bad expr
+    EXPECT_THROW(assemble("addi r1, r0, 99999\n"), SimError);    // range
+    EXPECT_THROW(assemble("add r1, r2, r3 !send=16\n"), SimError);
+    EXPECT_THROW(assemble("add r1, r2, r3 !bogus\n"), SimError);
+}
+
+TEST(Assembler, CurrentAddressSymbol)
+{
+    Program p = assemble(R"(
+        .org 0x100
+        nop
+        .word .
+    )");
+    EXPECT_EQ(p.words[1], 0x104u);
+}
+
+TEST(Assembler, UnknownRegionFails)
+{
+    Program p = assemble("nop\n");
+    EXPECT_THROW(p.regionId("nope"), SimError);
+}
+
+TEST(Assembler, AddrOfUndefinedFails)
+{
+    Program p = assemble("nop\n");
+    EXPECT_THROW(p.addrOf("missing"), SimError);
+}

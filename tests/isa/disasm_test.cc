@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "isa/isa.hh"
+#include "msg/kernels.hh"
+
+using namespace tcpni;
+using namespace tcpni::isa;
+
+TEST(Disassembler, EveryKernelInstructionRenders)
+{
+    // Every instruction word of every handler program must decode and
+    // disassemble without panicking, and render non-trivially.
+    for (const ni::Model &model : ni::allModels()) {
+        isa::Program p =
+            msg::assembleKernel(msg::handlerProgram(model));
+        unsigned rendered = 0;
+        for (Word w : p.words) {
+            if (w == 0)
+                continue;   // .space padding
+            Instruction inst = decode(w);
+            std::string s = disassemble(inst);
+            EXPECT_FALSE(s.empty());
+            EXPECT_EQ(s.find("???"), std::string::npos) << s;
+            ++rendered;
+        }
+        EXPECT_GT(rendered, 40u) << model.name();
+    }
+}
+
+TEST(Disassembler, KnownForms)
+{
+    auto dis = [](const char *src) {
+        isa::Program p = isa::assemble(src);
+        return disassemble(decode(p.words.at(0)));
+    };
+    EXPECT_EQ(dis("add r1, r2, r3\n"), "add r1, r2, r3");
+    EXPECT_EQ(dis("addi r1, r2, -5\n"), "addi r1, r2, -5");
+    EXPECT_EQ(dis("ld o2, i0, r0\n"), "ld o2, i0, r0");
+    EXPECT_EQ(dis("halt\n"), "halt");
+    EXPECT_EQ(dis("jmp r4\n"), "jmp r4");
+    EXPECT_EQ(dis("st i1, i0, r0 !next\n"), "st i1, i0, r0 !next");
+    EXPECT_EQ(dis("add o2, i1, i2 !reply=7 !next\n"),
+              "add o2, i1, i2 !reply=7 !next");
+}
+
+TEST(Disassembler, ReassemblyRoundTrip)
+{
+    // For the plain register and immediate forms, disassembler output
+    // is valid assembler input producing the identical encoding.
+    static const char *cases[] = {
+        "add r1, r2, r3\n",
+        "sub r4, r5, r6\n",
+        "mul r7, r8, r9\n",
+        "addi r1, r2, 100\n",
+        "andi r1, r2, 255\n",
+        "ldi r3, r4, 16\n",
+        "sti r3, r4, 16\n",
+        "slli r1, r2, 5\n",
+        "ld o2, i0, r4 !reply=3 !next\n",
+        "st r7, r8, r9 !send=5\n",
+        "add r0, r0, r0 !forward=2\n",
+        "halt\n",
+    };
+    for (const char *src : cases) {
+        Word w1 = isa::assemble(src).words.at(0);
+        std::string round = disassemble(decode(w1)) + "\n";
+        Word w2 = isa::assemble(round).words.at(0);
+        EXPECT_EQ(w1, w2) << src << " -> " << round;
+    }
+}

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "isa/isa.hh"
+
+using namespace tcpni;
+using namespace tcpni::isa;
+
+TEST(Encoding, TriadicRoundTrip)
+{
+    Instruction in;
+    in.op = Opcode::add;
+    in.rd = 3;
+    in.rs1 = 17;
+    in.rs2 = 31;
+    Instruction out = decode(encode(in));
+    EXPECT_EQ(in, out);
+}
+
+TEST(Encoding, TriadicWithNiCommands)
+{
+    Instruction in;
+    in.op = Opcode::ld;
+    in.rd = 18;     // o2
+    in.rs1 = 21;    // i0
+    in.rs2 = 0;
+    in.ni.mode = SendMode::reply;
+    in.ni.type = 7;
+    in.ni.next = true;
+    Instruction out = decode(encode(in));
+    EXPECT_EQ(in, out);
+    EXPECT_EQ(out.ni.mode, SendMode::reply);
+    EXPECT_EQ(out.ni.type, 7);
+    EXPECT_TRUE(out.ni.next);
+}
+
+TEST(Encoding, ImmediateSignedRoundTrip)
+{
+    for (int32_t imm : {0, 1, -1, 32767, -32768, 1234, -999}) {
+        Instruction in;
+        in.op = Opcode::addi;
+        in.rd = 1;
+        in.rs1 = 2;
+        in.imm = imm;
+        Instruction out = decode(encode(in));
+        EXPECT_EQ(out.imm, imm) << "imm=" << imm;
+    }
+}
+
+TEST(Encoding, ImmediateUnsignedRoundTrip)
+{
+    for (int32_t imm : {0, 1, 0xffff, 0x8000}) {
+        Instruction in;
+        in.op = Opcode::ori;
+        in.rd = 1;
+        in.rs1 = 2;
+        in.imm = imm;
+        Instruction out = decode(encode(in));
+        EXPECT_EQ(out.imm, imm) << "imm=" << imm;
+    }
+}
+
+TEST(Encoding, SignedImmediateOutOfRangePanics)
+{
+    Instruction in;
+    in.op = Opcode::addi;
+    in.imm = 40000;
+    EXPECT_THROW(encode(in), PanicError);
+    in.imm = -40000;
+    EXPECT_THROW(encode(in), PanicError);
+}
+
+TEST(Encoding, UnsignedImmediateOutOfRangePanics)
+{
+    Instruction in;
+    in.op = Opcode::ori;
+    in.imm = 0x10000;
+    EXPECT_THROW(encode(in), PanicError);
+}
+
+TEST(Encoding, NiCommandsOnImmediateFormPanics)
+{
+    Instruction in;
+    in.op = Opcode::addi;
+    in.ni.next = true;
+    EXPECT_THROW(encode(in), PanicError);
+}
+
+TEST(Encoding, UnknownOpcodePanics)
+{
+    // Opcode 40 is unassigned.
+    Word w = 40u << 26;
+    EXPECT_THROW(decode(w), PanicError);
+}
+
+TEST(Encoding, RegNames)
+{
+    EXPECT_EQ(regName(0), "r0");
+    EXPECT_EQ(regName(15), "r15");
+    EXPECT_EQ(regName(16), "o0");
+    EXPECT_EQ(regName(21), "i0");
+    EXPECT_EQ(regName(26), "status");
+    EXPECT_EQ(regName(30), "ipbase");
+    EXPECT_EQ(regName(31), "r31");
+}
+
+TEST(Encoding, ParseRegNames)
+{
+    EXPECT_EQ(parseRegName("r7").value(), 7u);
+    EXPECT_EQ(parseRegName("r31").value(), 31u);
+    EXPECT_EQ(parseRegName("o0").value(), 16u);
+    EXPECT_EQ(parseRegName("i4").value(), 25u);
+    EXPECT_EQ(parseRegName("msgip").value(), 28u);
+    EXPECT_FALSE(parseRegName("r32").has_value());
+    EXPECT_FALSE(parseRegName("x5").has_value());
+    EXPECT_FALSE(parseRegName("").has_value());
+}
+
+TEST(Encoding, DisassembleShowsNiClauses)
+{
+    Instruction in;
+    in.op = Opcode::add;
+    in.rd = 17;
+    in.rs1 = 22;
+    in.rs2 = 23;
+    in.ni.mode = SendMode::send;
+    in.ni.type = 5;
+    in.ni.next = true;
+    std::string s = disassemble(in);
+    EXPECT_NE(s.find("add o1, i1, i2"), std::string::npos) << s;
+    EXPECT_NE(s.find("!send=5"), std::string::npos) << s;
+    EXPECT_NE(s.find("!next"), std::string::npos) << s;
+}
+
+// Exhaustive-ish round-trip property across all opcodes.
+class OpcodeRoundTrip : public ::testing::TestWithParam<Opcode>
+{
+};
+
+TEST_P(OpcodeRoundTrip, EncodeDecode)
+{
+    Opcode op = GetParam();
+    Instruction in;
+    in.op = op;
+    in.rd = writesRd(op) || readsRdAsSource(op) ? 5 : 0;
+    in.rs1 = readsRs1(op) ? 6 : 0;
+    if (isTriadic(op)) {
+        in.rs2 = readsRs2(op) ? 7 : 0;
+        in.ni.mode = SendMode::forward;
+        in.ni.type = 9;
+        in.ni.next = true;
+    } else {
+        in.imm = immIsSigned(op) ? -5 : 5;
+    }
+    Instruction out = decode(encode(in));
+    EXPECT_EQ(in, out) << opcodeName(op);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpcodes, OpcodeRoundTrip,
+    ::testing::Values(Opcode::add, Opcode::sub, Opcode::and_, Opcode::or_,
+                      Opcode::xor_, Opcode::sll, Opcode::srl, Opcode::sra,
+                      Opcode::slt, Opcode::sltu, Opcode::mul, Opcode::ld,
+                      Opcode::st, Opcode::jmp, Opcode::addi, Opcode::andi,
+                      Opcode::ori, Opcode::xori, Opcode::lui, Opcode::ldi,
+                      Opcode::sti, Opcode::slli, Opcode::srli,
+                      Opcode::beqz, Opcode::bnez, Opcode::bltz,
+                      Opcode::bgez, Opcode::br, Opcode::halt),
+    [](const ::testing::TestParamInfo<Opcode> &info) {
+        std::string n = opcodeName(info.param);
+        if (!n.empty() && n.back() == '_')
+            n.pop_back();
+        return n;
+    });

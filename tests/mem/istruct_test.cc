@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "mem/istruct_memory.hh"
+
+using namespace tcpni;
+
+TEST(IStruct, StartsEmpty)
+{
+    IStructMemory m(8);
+    for (size_t i = 0; i < 8; ++i)
+        EXPECT_EQ(m.state(i), Presence::empty);
+}
+
+TEST(IStruct, WriteThenReadIsFull)
+{
+    IStructMemory m(4);
+    auto w = m.write(2, 99);
+    EXPECT_TRUE(w.readers.empty());
+    EXPECT_EQ(m.state(2), Presence::full);
+
+    auto r = m.read(2, 0x10, 0x20);
+    EXPECT_TRUE(r.full);
+    EXPECT_EQ(r.value, 99u);
+    // Reading a full element leaves it full.
+    EXPECT_EQ(m.state(2), Presence::full);
+}
+
+TEST(IStruct, ReadOfEmptyDefers)
+{
+    IStructMemory m(4);
+    auto r = m.read(1, 0xaa, 0xbb);
+    EXPECT_FALSE(r.full);
+    EXPECT_EQ(m.state(1), Presence::deferred);
+    EXPECT_EQ(m.deferredCount(1), 1u);
+}
+
+TEST(IStruct, WriteReleasesDeferredInArrivalOrder)
+{
+    IStructMemory m(4);
+    m.read(0, 1, 10);
+    m.read(0, 2, 20);
+    m.read(0, 3, 30);
+    EXPECT_EQ(m.deferredCount(0), 3u);
+
+    auto w = m.write(0, 555);
+    ASSERT_EQ(w.readers.size(), 3u);
+    EXPECT_EQ(w.readers[0].fp, 1u);
+    EXPECT_EQ(w.readers[0].ip, 10u);
+    EXPECT_EQ(w.readers[1].fp, 2u);
+    EXPECT_EQ(w.readers[2].fp, 3u);
+
+    EXPECT_EQ(m.state(0), Presence::full);
+    EXPECT_EQ(m.deferredCount(0), 0u);
+    EXPECT_EQ(m.peek(0), 555u);
+}
+
+TEST(IStruct, ReadAfterDeferredWriteIsImmediate)
+{
+    IStructMemory m(2);
+    m.read(0, 1, 1);
+    m.write(0, 7);
+    auto r = m.read(0, 2, 2);
+    EXPECT_TRUE(r.full);
+    EXPECT_EQ(r.value, 7u);
+}
+
+TEST(IStruct, DoubleWritePanics)
+{
+    IStructMemory m(2);
+    m.write(0, 1);
+    EXPECT_THROW(m.write(0, 2), PanicError);
+}
+
+TEST(IStruct, OutOfRangePanics)
+{
+    IStructMemory m(2);
+    EXPECT_THROW(m.read(2, 0, 0), PanicError);
+    EXPECT_THROW(m.write(5, 0), PanicError);
+    EXPECT_THROW(m.state(99), PanicError);
+}
+
+TEST(IStruct, PeekNonFullPanics)
+{
+    IStructMemory m(2);
+    EXPECT_THROW(m.peek(0), PanicError);
+    m.read(0, 0, 0);
+    EXPECT_THROW(m.peek(0), PanicError);
+}
+
+TEST(IStruct, Clear)
+{
+    IStructMemory m(2);
+    m.write(0, 1);
+    m.read(1, 1, 1);
+    m.clear();
+    EXPECT_EQ(m.state(0), Presence::empty);
+    EXPECT_EQ(m.state(1), Presence::empty);
+    EXPECT_EQ(m.deferredCount(1), 0u);
+}
+
+// Property sweep: n deferred readers are all released by one write,
+// matching the PWrite(deferred) handler's n-iteration forwarding loop.
+class DeferredSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DeferredSweep, AllReadersReleased)
+{
+    int n = GetParam();
+    IStructMemory m(1);
+    for (int i = 0; i < n; ++i)
+        m.read(0, static_cast<Word>(i), static_cast<Word>(i * 2));
+    auto w = m.write(0, 42);
+    EXPECT_EQ(w.readers.size(), static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i)
+        EXPECT_EQ(w.readers[i].fp, static_cast<Word>(i));
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, DeferredSweep,
+                         ::testing::Values(0, 1, 2, 5, 16, 100));

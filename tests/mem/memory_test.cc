@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "mem/memory.hh"
+
+using namespace tcpni;
+
+TEST(Memory, ReadWriteRoundTrip)
+{
+    Memory m(1024);
+    m.write(0, 0xdeadbeef);
+    m.write(4, 42);
+    m.write(1020, 7);
+    EXPECT_EQ(m.read(0), 0xdeadbeefu);
+    EXPECT_EQ(m.read(4), 42u);
+    EXPECT_EQ(m.read(1020), 7u);
+}
+
+TEST(Memory, InitiallyZero)
+{
+    Memory m(64);
+    for (Addr a = 0; a < 64; a += 4)
+        EXPECT_EQ(m.read(a), 0u);
+}
+
+TEST(Memory, UnalignedPanics)
+{
+    Memory m(64);
+    EXPECT_THROW(m.read(2), PanicError);
+    EXPECT_THROW(m.write(1, 0), PanicError);
+}
+
+TEST(Memory, OutOfBoundsPanics)
+{
+    Memory m(64);
+    EXPECT_THROW(m.read(64), PanicError);
+    EXPECT_THROW(m.write(1 << 20, 0), PanicError);
+}
+
+TEST(Memory, SizeRoundsUpToWord)
+{
+    Memory m(5);
+    EXPECT_EQ(m.size(), 8u);
+    EXPECT_NO_THROW(m.write(4, 1));
+}
+
+TEST(Memory, Clear)
+{
+    Memory m(16);
+    m.write(8, 99);
+    m.clear();
+    EXPECT_EQ(m.read(8), 0u);
+}

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "msg/kernels.hh"
+#include "ni/ni_regs.hh"
+#include "system/system.hh"
+
+using namespace tcpni;
+using namespace tcpni::ni;
+
+namespace
+{
+
+/**
+ * A program that floods a dead node until its own output queue
+ * overflows under the exception (non-stall) policy, then falls into
+ * the poll loop; MsgIp must redirect it to the type-1 exception
+ * handler (Section 2.2.4), which records STATUS, acknowledges, and
+ * halts.
+ */
+const char *overflowProgram = R"(
+    .org 0x4000
+poll:
+    jmp  msgip
+    nop
+    .align HANDLER_STRIDE
+exc:
+    add  r1, status, r0
+    sti  r1, r0, 0x600         ; record STATUS at the exception
+    add  status, r0, r0        ; acknowledge (write clears)
+    add  r2, status, r0
+    sti  r2, r0, 0x604         ; record STATUS after the ack
+    halt
+    .align HANDLER_STRIDE
+    .space (HANDLER_STRIDE/4) * 14
+
+entry:
+    li   ipbase, 0x4000
+    ; select the exception policy: clear the stall-on-full bit
+    li   r3, 0xfffffffe
+    and  control, control, r3
+    li   o0, (1 << NODE_SHIFT)
+    lis  r1, 64
+flood:
+    send 2
+    addi r1, r1, -1
+    bnez r1, flood
+    nop
+    br   poll
+    nop
+)";
+
+} // namespace
+
+TEST(ExceptionDispatch, OutputOverflowReachesType1Handler)
+{
+    sys::NodeConfig cfg;
+    cfg.ni.placement = ni::Placement::registerFile;
+    cfg.ni.outputQueueDepth = 4;
+    cfg.ni.inputQueueDepth = 4;
+    sys::System machine("exc", 2, 1, cfg);
+
+    // Node 1's CPU never starts: its input queue fills, the mesh backs
+    // up, node 0's output queue overflows.
+    isa::Program prog = msg::assembleKernel(overflowProgram);
+    machine.node(0).boot(prog, prog.addrOf("entry"));
+
+    machine.run(100000);
+    ASSERT_TRUE(machine.node(0).cpu().halted());
+
+    Word at_exc = machine.node(0).mem().read(0x600);
+    Word after_ack = machine.node(0).mem().read(0x604);
+
+    // The recorded STATUS shows a pending output-overflow exception.
+    EXPECT_EQ(bits(at_exc, status::excPendingBit), 1u);
+    EXPECT_EQ(bits(at_exc, status::excCodeShift + 3,
+                   status::excCodeShift),
+              static_cast<Word>(ExcCode::outputOverflow));
+    // The acknowledgment cleared it.
+    EXPECT_EQ(bits(after_ack, status::excPendingBit), 0u);
+
+    // Messages were genuinely dropped (overflow), not stalled.
+    EXPECT_GT(machine.node(0).ni().numSent(), 0u);
+    EXPECT_LT(machine.node(0).ni().numSent(), 64u);
+    EXPECT_EQ(machine.node(0).cpu().niStallCycles(), 0u);
+}
+
+TEST(ExceptionDispatch, StallPolicyNeverRaises)
+{
+    // Same flood under the stall policy: no exception, every message
+    // eventually... stays queued (nothing drains node 1), so the CPU
+    // wedges in the stalled SEND -- exactly the behavior the paper
+    // warns about ("stalling the processor should not be done if the
+    // processor needs to participate in emptying the network").
+    sys::NodeConfig cfg;
+    cfg.ni.placement = ni::Placement::registerFile;
+    cfg.ni.outputQueueDepth = 4;
+    cfg.ni.inputQueueDepth = 4;
+    sys::System machine("stall", 2, 1, cfg);
+
+    isa::Program prog = msg::assembleKernel(R"(
+    entry:
+        li   o0, (1 << NODE_SHIFT)
+        lis  r1, 64
+    flood:
+        send 2
+        addi r1, r1, -1
+        bnez r1, flood
+        nop
+        halt
+    )");
+    machine.node(0).boot(prog, prog.addrOf("entry"));
+
+    machine.run(5000);
+    EXPECT_FALSE(machine.node(0).cpu().halted());
+    EXPECT_GT(machine.node(0).cpu().niStallCycles(), 1000u);
+    EXPECT_EQ(machine.node(0).ni().pendingException(), ExcCode::none);
+}

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <memory>
+
+#include "common/random.hh"
+#include "ni/network_interface.hh"
+#include "noc/network.hh"
+
+using namespace tcpni;
+using namespace tcpni::ni;
+
+namespace
+{
+
+/**
+ * Model-based fuzzing: drive one NetworkInterface with a random
+ * interleaving of SENDs, NEXTs, register writes, and network
+ * deliveries, mirroring every step in a trivial reference model
+ * (two std::deques and a register array).  Any divergence in
+ * observable state -- queue lengths, input-register contents, message
+ * ordering, composed messages -- is a bug in the real thing.
+ */
+struct RefModel
+{
+    Word out[msgWords] = {};
+    Word in[msgWords] = {};
+    bool inValid = false;
+    uint8_t curType = 0;
+    std::deque<Message> inq;
+    std::deque<Message> outq;
+    unsigned outDepth;
+
+    explicit RefModel(unsigned depth) : outDepth(depth) {}
+
+    void
+    refill()
+    {
+        if (inValid || inq.empty())
+            return;
+        Message m = inq.front();
+        inq.pop_front();
+        for (unsigned k = 0; k < msgWords; ++k)
+            in[k] = m.words[k];
+        curType = m.type;
+        inValid = true;
+    }
+
+    bool
+    send(isa::SendMode mode, uint8_t type)
+    {
+        if (outq.size() >= outDepth)
+            return false;   // the real NI stalls
+        Message m;
+        for (unsigned k = 0; k < msgWords; ++k)
+            m.words[k] = out[k];
+        if (mode == isa::SendMode::reply) {
+            m.words[0] = in[1];
+            m.words[1] = in[2];
+        } else if (mode == isa::SendMode::forward) {
+            m.words[2] = in[2];
+            m.words[3] = in[3];
+            m.words[4] = in[4];
+        }
+        m.type = type;
+        m.setDestFromWord0();
+        outq.push_back(m);
+        return true;
+    }
+
+    void
+    next()
+    {
+        inValid = false;
+        refill();
+    }
+
+    bool
+    accept(const Message &m, unsigned depth)
+    {
+        if (inq.size() >= depth)
+            return false;
+        inq.push_back(m);
+        refill();
+        return true;
+    }
+};
+
+} // namespace
+
+class NiFuzz : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(NiFuzz, MatchesReferenceModel)
+{
+    Random rng(GetParam());
+    const unsigned in_depth = 4, out_depth = 4;
+
+    EventQueue eq;
+    IdealNetwork net("net", eq, 2, 1);
+    NiConfig cfg;
+    cfg.inputQueueDepth = in_depth;
+    cfg.outputQueueDepth = out_depth;
+    NetworkInterface ni("ni", eq, 1, net, cfg);
+    // Keep the pump from draining the output queue: never run the
+    // event queue, so the output queue is fully observable.
+    RefModel ref(out_depth);
+
+    for (int step = 0; step < 4000; ++step) {
+        switch (rng.uniform(0, 4)) {
+          case 0: {   // write an output register
+            unsigned r = rng.uniform(0, msgWords - 1);
+            Word v = rng.next32();
+            ni.writeReg(regO0 + r, v);
+            ref.out[r] = v;
+            break;
+          }
+          case 1: {   // SEND in a random mode
+            isa::NiCommand cmd;
+            unsigned mode = rng.uniform(1, 3);
+            cmd.mode = static_cast<isa::SendMode>(mode);
+            cmd.type = static_cast<uint8_t>(
+                rng.uniform(2, 15));
+            // Make the destination word routable.
+            if (cmd.mode != isa::SendMode::reply) {
+                Word dest = globalWord(0, rng.next32());
+                ni.writeReg(regO0, dest);
+                ref.out[0] = dest;
+            }
+            bool ref_ok = ref.send(cmd.mode, cmd.type);
+            CmdResult res = ni.command(cmd);
+            ASSERT_EQ(res == CmdResult::ok, ref_ok) << "step " << step;
+            break;
+          }
+          case 2: {   // NEXT
+            isa::NiCommand cmd;
+            cmd.next = true;
+            ni.command(cmd);
+            ref.next();
+            break;
+          }
+          case 3: {   // a message arrives from the network
+            Message m;
+            for (unsigned k = 0; k < msgWords; ++k)
+                m.words[k] = rng.next32();
+            m.words[0] = globalWord(1, m.words[0]);
+            m.type = static_cast<uint8_t>(rng.uniform(2, 15));
+            m.setDestFromWord0();
+            bool got = ni.acceptFromNetwork(m);
+            bool ref_got = ref.accept(m, in_depth);
+            ASSERT_EQ(got, ref_got) << "step " << step;
+            break;
+          }
+          default: {  // read-only probes never perturb state
+            ni.readReg(regStatus);
+            ni.readReg(regMsgIp);
+            ni.readReg(regNextMsgIp);
+            break;
+          }
+        }
+
+        // Observable state must match exactly at every step.
+        ASSERT_EQ(ni.inputQueueLen(), ref.inq.size()) << step;
+        ASSERT_EQ(ni.outputQueueLen(), ref.outq.size()) << step;
+        ASSERT_EQ(ni.msgValid(), ref.inValid) << step;
+        if (ref.inValid) {
+            ASSERT_EQ(ni.currentType(), ref.curType) << step;
+            for (unsigned k = 0; k < msgWords; ++k)
+                ASSERT_EQ(ni.readReg(regI0 + k), ref.in[k]) << step;
+        }
+        for (unsigned k = 0; k < msgWords; ++k)
+            ASSERT_EQ(ni.readReg(regO0 + k), ref.out[k]) << step;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NiFuzz,
+                         ::testing::Values(101u, 202u, 303u, 404u,
+                                           505u, 606u));

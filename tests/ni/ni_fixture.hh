@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Shared fixture for network-interface unit tests: two NIs on an ideal
+ * network, with helpers to compose and pump messages.
+ */
+
+#ifndef TCPNI_TESTS_NI_FIXTURE_HH
+#define TCPNI_TESTS_NI_FIXTURE_HH
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ni/network_interface.hh"
+#include "noc/network.hh"
+
+namespace tcpni
+{
+
+class NiPairTest : public ::testing::Test
+{
+  protected:
+    void
+    build(ni::NiConfig cfg0, ni::NiConfig cfg1)
+    {
+        net = std::make_unique<IdealNetwork>("net", eq, 2, 1);
+        ni0 = std::make_unique<ni::NetworkInterface>("ni0", eq, 0, *net,
+                                                     cfg0);
+        ni1 = std::make_unique<ni::NetworkInterface>("ni1", eq, 1, *net,
+                                                     cfg1);
+    }
+
+    void
+    build(ni::NiConfig cfg)
+    {
+        build(cfg, cfg);
+    }
+
+    /** Compose a message in @p src's output registers and SEND it. */
+    ni::CmdResult
+    send(ni::NetworkInterface &src, NodeId dst, uint8_t type,
+         Word w1 = 0, Word w2 = 0, Word w3 = 0, Word w4 = 0,
+         Word local0 = 0)
+    {
+        src.writeReg(ni::regO0, globalWord(dst, local0));
+        src.writeReg(ni::regO1, w1);
+        src.writeReg(ni::regO2, w2);
+        src.writeReg(ni::regO3, w3);
+        src.writeReg(ni::regO4, w4);
+        isa::NiCommand cmd;
+        cmd.mode = isa::SendMode::send;
+        cmd.type = type;
+        return src.command(cmd);
+    }
+
+    /** Run the event queue until quiescent. */
+    void drain() { eq.run(); }
+
+    isa::NiCommand
+    nextCmd()
+    {
+        isa::NiCommand c;
+        c.next = true;
+        return c;
+    }
+
+    EventQueue eq;
+    std::unique_ptr<IdealNetwork> net;
+    std::unique_ptr<ni::NetworkInterface> ni0, ni1;
+};
+
+} // namespace tcpni
+
+#endif // TCPNI_TESTS_NI_FIXTURE_HH

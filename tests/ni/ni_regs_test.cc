@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "ni/ni_regs.hh"
+#include "noc/message.hh"
+
+using namespace tcpni;
+using namespace tcpni::ni;
+
+TEST(CmdAddr, Figure9Example)
+{
+    // The paper's example: "return the contents of the sixth interface
+    // register, i1, ... send a reply message of type 7, and load its
+    // input registers with the next message".  The low address bits are
+    // register 6, type 7, mode 10 (reply), NEXT.
+    Word off = cmdaddr::offset(regI1, 2, 7, true);
+    EXPECT_EQ(bits(off, 5, 2), 6u);
+    EXPECT_EQ(bits(off, 9, 6), 7u);
+    EXPECT_EQ(bits(off, 11, 10), 2u);
+    EXPECT_EQ(bits(off, 12), 1u);
+}
+
+TEST(CmdAddr, RegisterNumbers)
+{
+    // Output registers come first (Figure 9 decodes register 6 as i1).
+    EXPECT_EQ(regO0, 0u);
+    EXPECT_EQ(regO4, 4u);
+    EXPECT_EQ(regI0, 5u);
+    EXPECT_EQ(regI1, 6u);
+    EXPECT_EQ(regI4, 9u);
+    EXPECT_EQ(regStatus, 10u);
+    EXPECT_EQ(regIpBase, 14u);
+}
+
+TEST(CmdAddr, PlainAccessHasNoCommands)
+{
+    Word off = cmdaddr::offset(regStatus);
+    EXPECT_EQ(bits(off, 11, 10), 0u);
+    EXPECT_EQ(bits(off, 12), 0u);
+}
+
+TEST(CmdAddr, ScrollBits)
+{
+    Word in = cmdaddr::offset(regI0, 0, 0, false, true, false);
+    Word out = cmdaddr::offset(regO0, 0, 0, false, false, true);
+    EXPECT_EQ(bits(in, cmdaddr::scrollInBit), 1u);
+    EXPECT_EQ(bits(out, cmdaddr::scrollOutBit), 1u);
+}
+
+TEST(Dispatch, HandlerAddrLayout)
+{
+    Word base = 0x4000;
+    EXPECT_EQ(dispatch::handlerAddr(base, 0), 0x4000u);
+    EXPECT_EQ(dispatch::handlerAddr(base, 1), 0x4080u);
+    EXPECT_EQ(dispatch::handlerAddr(base, 15), 0x4780u);
+    // oafull and iafull select the "four versions of each handler".
+    EXPECT_EQ(dispatch::handlerAddr(base, 2, false, true), 0x4900u);
+    EXPECT_EQ(dispatch::handlerAddr(base, 2, true, false), 0x5100u);
+    EXPECT_EQ(dispatch::handlerAddr(base, 2, true, true), 0x5900u);
+}
+
+TEST(Dispatch, IpBaseLowBitsIgnored)
+{
+    EXPECT_EQ(dispatch::handlerAddr(0x5fff, 0), 0x4000u);
+}
+
+TEST(AsmSymbols, ContainsCoreDefinitions)
+{
+    auto syms = asmSymbols();
+    EXPECT_EQ(syms.at("NI_BASE"), cmdaddr::niAddrBase);
+    EXPECT_EQ(syms.at("NI_I1"), 6u << 2);
+    EXPECT_EQ(syms.at("NI_O0"), 0u);
+    EXPECT_EQ(syms.at("NI_STATUS"), 10u << 2);
+    EXPECT_EQ(syms.at("NI_SEND"), 1u << 10);
+    EXPECT_EQ(syms.at("NI_REPLY"), 2u << 10);
+    EXPECT_EQ(syms.at("NI_FWD"), 3u << 10);
+    EXPECT_EQ(syms.at("NI_NEXT"), 1u << 12);
+    EXPECT_EQ(syms.at("NI_TYPE"), 1u << 6);
+    EXPECT_EQ(syms.at("HANDLER_STRIDE"), 128u);
+    EXPECT_EQ(syms.at("NODE_SHIFT"), nodeShift);
+}
+
+TEST(AsmSymbols, Figure9ExampleViaSymbols)
+{
+    // NI_BASE | NI_I1 | NI_REPLY | NI_TYPE*7 | NI_NEXT reproduces the
+    // paper's example address.
+    auto syms = asmSymbols();
+    Word addr = static_cast<Word>(syms["NI_BASE"] | syms["NI_I1"] |
+                                  syms["NI_REPLY"] | syms["NI_TYPE"] * 7 |
+                                  syms["NI_NEXT"]);
+    EXPECT_EQ(addr & 0xffff0000u, 0xffff0000u);
+    EXPECT_EQ(addr & 0x1fff,
+              cmdaddr::offset(regI1, 2, 7, true));
+}

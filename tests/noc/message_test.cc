@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include "noc/message.hh"
+
+using namespace tcpni;
+
+TEST(MessageFormat, GlobalWordComposition)
+{
+    Word g = globalWord(3, 0x1234);
+    EXPECT_EQ(nodeOf(g), 3u);
+    EXPECT_EQ(localOf(g), 0x1234u);
+}
+
+TEST(MessageFormat, GlobalWordMasksLocal)
+{
+    // Local part wider than 24 bits is truncated, never corrupting the
+    // node field.
+    Word g = globalWord(1, 0xff123456);
+    EXPECT_EQ(nodeOf(g), 1u);
+    EXPECT_EQ(localOf(g), 0x123456u);
+}
+
+TEST(MessageFormat, MaxNode)
+{
+    Word g = globalWord(255, 0);
+    EXPECT_EQ(nodeOf(g), 255u);
+}
+
+TEST(MessageFormat, DestFromWord0)
+{
+    Message m;
+    m.words[0] = globalWord(7, 0x100);
+    m.setDestFromWord0();
+    EXPECT_EQ(m.dest(), 7u);
+}
+
+TEST(MessageFormat, LengthWithExtra)
+{
+    Message m;
+    EXPECT_EQ(m.length(), 5u);
+    m.extra = {1, 2, 3};
+    EXPECT_EQ(m.length(), 8u);
+}
+
+TEST(MessageFormat, ToStringContainsFields)
+{
+    Message m;
+    m.type = 9;
+    m.words[0] = globalWord(2, 0);
+    m.setDestFromWord0();
+    std::string s = m.toString();
+    EXPECT_NE(s.find("type=9"), std::string::npos);
+    EXPECT_NE(s.find("dst=2"), std::string::npos);
+}
