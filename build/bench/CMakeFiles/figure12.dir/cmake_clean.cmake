@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure12.dir/figure12.cc.o"
+  "CMakeFiles/figure12.dir/figure12.cc.o.d"
+  "figure12"
+  "figure12.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure12.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

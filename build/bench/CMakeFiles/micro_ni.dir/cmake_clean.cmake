@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_ni.dir/micro_ni.cc.o"
+  "CMakeFiles/micro_ni.dir/micro_ni.cc.o.d"
+  "micro_ni"
+  "micro_ni.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_ni.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offchip_latency.dir/offchip_latency.cc.o"
+  "CMakeFiles/offchip_latency.dir/offchip_latency.cc.o.d"
+  "offchip_latency"
+  "offchip_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offchip_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congestion.dir/congestion.cpp.o"
+  "CMakeFiles/congestion.dir/congestion.cpp.o.d"
+  "congestion"
+  "congestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interrupt_server.dir/interrupt_server.cpp.o"
+  "CMakeFiles/interrupt_server.dir/interrupt_server.cpp.o.d"
+  "interrupt_server"
+  "interrupt_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interrupt_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/istructure.dir/istructure.cpp.o"
+  "CMakeFiles/istructure.dir/istructure.cpp.o.d"
+  "istructure"
+  "istructure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/istructure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/system/CMakeFiles/tcpni_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/tcpni_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/tcpni_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/tam/CMakeFiles/tcpni_tam.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/tcpni_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/tcpni_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/ni/CMakeFiles/tcpni_ni.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/tcpni_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tcpni_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/tcpni_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tcpni_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tcpni_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_memory.dir/remote_memory.cpp.o"
+  "CMakeFiles/remote_memory.dir/remote_memory.cpp.o.d"
+  "remote_memory"
+  "remote_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tam_matmul.dir/tam_matmul.cpp.o"
+  "CMakeFiles/tam_matmul.dir/tam_matmul.cpp.o.d"
+  "tam_matmul"
+  "tam_matmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tam_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("mem")
+subdirs("isa")
+subdirs("noc")
+subdirs("ni")
+subdirs("cpu")
+subdirs("msg")
+subdirs("cost")
+subdirs("tam")
+subdirs("apps")
+subdirs("system")

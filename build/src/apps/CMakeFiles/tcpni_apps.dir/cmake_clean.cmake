@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcpni_apps.dir/fib.cc.o"
+  "CMakeFiles/tcpni_apps.dir/fib.cc.o.d"
+  "CMakeFiles/tcpni_apps.dir/gamteb.cc.o"
+  "CMakeFiles/tcpni_apps.dir/gamteb.cc.o.d"
+  "CMakeFiles/tcpni_apps.dir/matmul.cc.o"
+  "CMakeFiles/tcpni_apps.dir/matmul.cc.o.d"
+  "CMakeFiles/tcpni_apps.dir/pingpong.cc.o"
+  "CMakeFiles/tcpni_apps.dir/pingpong.cc.o.d"
+  "libtcpni_apps.a"
+  "libtcpni_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcpni_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

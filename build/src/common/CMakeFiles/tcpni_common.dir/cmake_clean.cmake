@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcpni_common.dir/logging.cc.o"
+  "CMakeFiles/tcpni_common.dir/logging.cc.o.d"
+  "CMakeFiles/tcpni_common.dir/random.cc.o"
+  "CMakeFiles/tcpni_common.dir/random.cc.o.d"
+  "CMakeFiles/tcpni_common.dir/stats.cc.o"
+  "CMakeFiles/tcpni_common.dir/stats.cc.o.d"
+  "CMakeFiles/tcpni_common.dir/table.cc.o"
+  "CMakeFiles/tcpni_common.dir/table.cc.o.d"
+  "libtcpni_common.a"
+  "libtcpni_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcpni_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcpni_cost.dir/table1.cc.o"
+  "CMakeFiles/tcpni_cost.dir/table1.cc.o.d"
+  "libtcpni_cost.a"
+  "libtcpni_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcpni_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtcpni_cost.a"
+)

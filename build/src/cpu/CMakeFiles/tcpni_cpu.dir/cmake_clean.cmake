@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcpni_cpu.dir/cpu.cc.o"
+  "CMakeFiles/tcpni_cpu.dir/cpu.cc.o.d"
+  "libtcpni_cpu.a"
+  "libtcpni_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcpni_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

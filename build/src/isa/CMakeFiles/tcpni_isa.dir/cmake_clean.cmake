@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcpni_isa.dir/assembler.cc.o"
+  "CMakeFiles/tcpni_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/tcpni_isa.dir/isa.cc.o"
+  "CMakeFiles/tcpni_isa.dir/isa.cc.o.d"
+  "libtcpni_isa.a"
+  "libtcpni_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcpni_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcpni_mem.dir/istruct_memory.cc.o"
+  "CMakeFiles/tcpni_mem.dir/istruct_memory.cc.o.d"
+  "CMakeFiles/tcpni_mem.dir/memory.cc.o"
+  "CMakeFiles/tcpni_mem.dir/memory.cc.o.d"
+  "libtcpni_mem.a"
+  "libtcpni_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcpni_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcpni_msg.dir/kernels.cc.o"
+  "CMakeFiles/tcpni_msg.dir/kernels.cc.o.d"
+  "CMakeFiles/tcpni_msg.dir/protocol.cc.o"
+  "CMakeFiles/tcpni_msg.dir/protocol.cc.o.d"
+  "libtcpni_msg.a"
+  "libtcpni_msg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcpni_msg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

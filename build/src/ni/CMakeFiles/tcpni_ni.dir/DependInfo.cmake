@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ni/config.cc" "src/ni/CMakeFiles/tcpni_ni.dir/config.cc.o" "gcc" "src/ni/CMakeFiles/tcpni_ni.dir/config.cc.o.d"
+  "/root/repo/src/ni/network_interface.cc" "src/ni/CMakeFiles/tcpni_ni.dir/network_interface.cc.o" "gcc" "src/ni/CMakeFiles/tcpni_ni.dir/network_interface.cc.o.d"
+  "/root/repo/src/ni/ni_regs.cc" "src/ni/CMakeFiles/tcpni_ni.dir/ni_regs.cc.o" "gcc" "src/ni/CMakeFiles/tcpni_ni.dir/ni_regs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tcpni_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tcpni_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/tcpni_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/tcpni_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

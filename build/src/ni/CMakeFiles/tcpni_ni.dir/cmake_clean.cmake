@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcpni_ni.dir/config.cc.o"
+  "CMakeFiles/tcpni_ni.dir/config.cc.o.d"
+  "CMakeFiles/tcpni_ni.dir/network_interface.cc.o"
+  "CMakeFiles/tcpni_ni.dir/network_interface.cc.o.d"
+  "CMakeFiles/tcpni_ni.dir/ni_regs.cc.o"
+  "CMakeFiles/tcpni_ni.dir/ni_regs.cc.o.d"
+  "libtcpni_ni.a"
+  "libtcpni_ni.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcpni_ni.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

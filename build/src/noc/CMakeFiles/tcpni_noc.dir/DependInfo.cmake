@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/noc/mesh.cc" "src/noc/CMakeFiles/tcpni_noc.dir/mesh.cc.o" "gcc" "src/noc/CMakeFiles/tcpni_noc.dir/mesh.cc.o.d"
+  "/root/repo/src/noc/message.cc" "src/noc/CMakeFiles/tcpni_noc.dir/message.cc.o" "gcc" "src/noc/CMakeFiles/tcpni_noc.dir/message.cc.o.d"
+  "/root/repo/src/noc/network.cc" "src/noc/CMakeFiles/tcpni_noc.dir/network.cc.o" "gcc" "src/noc/CMakeFiles/tcpni_noc.dir/network.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tcpni_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tcpni_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcpni_noc.dir/mesh.cc.o"
+  "CMakeFiles/tcpni_noc.dir/mesh.cc.o.d"
+  "CMakeFiles/tcpni_noc.dir/message.cc.o"
+  "CMakeFiles/tcpni_noc.dir/message.cc.o.d"
+  "CMakeFiles/tcpni_noc.dir/network.cc.o"
+  "CMakeFiles/tcpni_noc.dir/network.cc.o.d"
+  "libtcpni_noc.a"
+  "libtcpni_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcpni_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

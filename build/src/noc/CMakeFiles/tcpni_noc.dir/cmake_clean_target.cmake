@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtcpni_noc.a"
+)

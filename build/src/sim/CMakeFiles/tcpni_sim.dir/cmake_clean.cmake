@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcpni_sim.dir/event_queue.cc.o"
+  "CMakeFiles/tcpni_sim.dir/event_queue.cc.o.d"
+  "libtcpni_sim.a"
+  "libtcpni_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcpni_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

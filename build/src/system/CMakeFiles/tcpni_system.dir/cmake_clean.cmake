@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcpni_system.dir/system.cc.o"
+  "CMakeFiles/tcpni_system.dir/system.cc.o.d"
+  "libtcpni_system.a"
+  "libtcpni_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcpni_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

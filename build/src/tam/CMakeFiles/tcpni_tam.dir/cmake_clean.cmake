@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcpni_tam.dir/expand.cc.o"
+  "CMakeFiles/tcpni_tam.dir/expand.cc.o.d"
+  "CMakeFiles/tcpni_tam.dir/machine.cc.o"
+  "CMakeFiles/tcpni_tam.dir/machine.cc.o.d"
+  "libtcpni_tam.a"
+  "libtcpni_tam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcpni_tam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tcpni_tam.
+# This may be replaced when dependencies are built.

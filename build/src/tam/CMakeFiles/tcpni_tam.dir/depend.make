@@ -1,0 +1,2 @@
+# Empty dependencies file for tcpni_tam.
+# This may be replaced when dependencies are built.

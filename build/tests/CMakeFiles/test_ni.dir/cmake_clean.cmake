@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ni.dir/ni/dispatch_test.cc.o"
+  "CMakeFiles/test_ni.dir/ni/dispatch_test.cc.o.d"
+  "CMakeFiles/test_ni.dir/ni/exception_test.cc.o"
+  "CMakeFiles/test_ni.dir/ni/exception_test.cc.o.d"
+  "CMakeFiles/test_ni.dir/ni/fuzz_test.cc.o"
+  "CMakeFiles/test_ni.dir/ni/fuzz_test.cc.o.d"
+  "CMakeFiles/test_ni.dir/ni/network_interface_test.cc.o"
+  "CMakeFiles/test_ni.dir/ni/network_interface_test.cc.o.d"
+  "CMakeFiles/test_ni.dir/ni/ni_regs_test.cc.o"
+  "CMakeFiles/test_ni.dir/ni/ni_regs_test.cc.o.d"
+  "CMakeFiles/test_ni.dir/ni/protection_test.cc.o"
+  "CMakeFiles/test_ni.dir/ni/protection_test.cc.o.d"
+  "CMakeFiles/test_ni.dir/ni/scroll_test.cc.o"
+  "CMakeFiles/test_ni.dir/ni/scroll_test.cc.o.d"
+  "test_ni"
+  "test_ni.pdb"
+  "test_ni[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ni.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tam.dir/tam/expand_test.cc.o"
+  "CMakeFiles/test_tam.dir/tam/expand_test.cc.o.d"
+  "CMakeFiles/test_tam.dir/tam/machine_test.cc.o"
+  "CMakeFiles/test_tam.dir/tam/machine_test.cc.o.d"
+  "test_tam"
+  "test_tam.pdb"
+  "test_tam[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
