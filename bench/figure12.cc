@@ -18,17 +18,23 @@
  *   --n N          matrix dimension for Matrix Multiply (default 100)
  *   --particles P  Gamteb source particles (default 16)
  *   --offchip-delay D   off-chip load-use delay (default 2)
+ *   --json FILE    write the measured costs and bars as JSON
+ *   --trace FILE   write a Chrome trace of the kernel messages
  */
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <vector>
 
 #include "apps/gamteb.hh"
 #include "apps/matmul.hh"
 #include "common/logging.hh"
+#include "common/stats.hh"
 #include "common/table.hh"
+#include "common/trace.hh"
 #include "tam/expand.hh"
 
 using namespace tcpni;
@@ -140,6 +146,76 @@ printClaims(const ProgramBars &p)
               << "(paper: ~2x)\n";
 }
 
+std::string
+jnum(double v)
+{
+    char buf[40];
+    if (!std::isfinite(v))
+        return "0";
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    return buf;
+}
+
+void
+writeJson(std::ostream &os, unsigned n, unsigned particles,
+          Cycles offchip, const std::vector<tam::CommCosts> &costs,
+          const ProgramBars &mm, const ProgramBars &gt,
+          uint64_t mm_msgs, uint64_t mm_flops, uint64_t gt_msgs)
+{
+    os << "{\"config\":{\"n\":" << n << ",\"particles\":" << particles
+       << ",\"offchipDelay\":" << offchip << "},\n\"models\":{";
+    for (size_t i = 0; i < costs.size(); ++i) {
+        const tam::CommCosts &c = costs[i];
+        os << (i ? ",\n" : "\n") << "\""
+           << stats::jsonEscape(c.model.name()) << "\":{"
+           << "\"send\":{\"send0\":" << jnum(c.sendSend0)
+           << ",\"send1\":" << jnum(c.sendSend1)
+           << ",\"send2\":" << jnum(c.sendSend2)
+           << ",\"read\":" << jnum(c.sendRead)
+           << ",\"write\":" << jnum(c.sendWrite)
+           << ",\"pread\":" << jnum(c.sendPRead)
+           << ",\"pwrite\":" << jnum(c.sendPWrite) << "},"
+           << "\"dispatch\":" << jnum(c.dispatch) << ","
+           << "\"process\":{\"send0\":" << jnum(c.procSend0)
+           << ",\"send1\":" << jnum(c.procSend1)
+           << ",\"send2\":" << jnum(c.procSend2)
+           << ",\"read\":" << jnum(c.procRead)
+           << ",\"write\":" << jnum(c.procWrite)
+           << ",\"preadFull\":" << jnum(c.procPReadFull)
+           << ",\"preadEmpty\":" << jnum(c.procPReadEmpty)
+           << ",\"preadDeferred\":" << jnum(c.procPReadDeferred)
+           << ",\"pwriteEmpty\":" << jnum(c.procPWriteEmpty)
+           << ",\"pwriteDeferredBase\":" << jnum(c.procPWriteDefBase)
+           << ",\"pwriteDeferredSlope\":" << jnum(c.procPWriteDefSlope)
+           << "}}";
+    }
+    os << "},\n\"programs\":{";
+    auto models = ni::allModels();
+    auto program = [&](const char *key, const ProgramBars &p,
+                       uint64_t msgs, uint64_t flops) {
+        os << "\"" << key << "\":{\"name\":\""
+           << stats::jsonEscape(p.name) << "\",\"messages\":" << msgs
+           << ",\"flops\":" << flops << ",\"models\":{";
+        for (size_t i = 0; i < p.bars.size(); ++i) {
+            const tam::Figure12Bar &b = p.bars[i];
+            os << (i ? ",\n" : "\n") << "\""
+               << stats::jsonEscape(models[i].name()) << "\":{"
+               << "\"work\":" << jnum(b.work)
+               << ",\"dispatch\":" << jnum(b.dispatch)
+               << ",\"sending\":" << jnum(b.sending)
+               << ",\"otherComm\":" << jnum(b.otherComm)
+               << ",\"total\":" << jnum(b.total())
+               << ",\"commFraction\":" << jnum(b.commFraction())
+               << "}";
+        }
+        os << "}}";
+    };
+    program("matmul", mm, mm_msgs, mm_flops);
+    os << ",\n";
+    program("gamteb", gt, gt_msgs, 0);
+    os << "}}\n";
+}
+
 } // namespace
 
 int
@@ -147,6 +223,7 @@ main(int argc, char **argv)
 {
     unsigned n = 100, particles = 16;
     Cycles offchip = 2;
+    std::string json_file, trace_file;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--n") && i + 1 < argc)
             n = static_cast<unsigned>(std::atoi(argv[++i]));
@@ -154,7 +231,15 @@ main(int argc, char **argv)
             particles = static_cast<unsigned>(std::atoi(argv[++i]));
         else if (!std::strcmp(argv[i], "--offchip-delay") && i + 1 < argc)
             offchip = static_cast<Cycles>(std::atoi(argv[++i]));
+        else if (!std::strcmp(argv[i], "--json") && i + 1 < argc)
+            json_file = argv[++i];
+        else if (!std::strcmp(argv[i], "--trace") && i + 1 < argc)
+            trace_file = argv[++i];
     }
+
+    trace::TraceSink lifecycle_sink;
+    if (!trace_file.empty())
+        trace::setSink(&lifecycle_sink);
 
     logging::quiet = true;
 
@@ -205,5 +290,26 @@ main(int argc, char **argv)
     printClaims(mm_bars);
     printProgram(gt_bars);
     printClaims(gt_bars);
+
+    if (!json_file.empty()) {
+        std::ofstream os(json_file);
+        if (!os)
+            fatal("cannot open --json file '%s'", json_file.c_str());
+        writeJson(os, n, particles, offchip, costs, mm_bars, gt_bars,
+                  mm.stats.totalMessages(), mm.stats.flops(),
+                  gt.stats.totalMessages());
+        std::cout << "\nwrote JSON results to " << json_file << "\n";
+    }
+    if (!trace_file.empty()) {
+        trace::setSink(nullptr);
+        std::ofstream os(trace_file);
+        if (!os)
+            fatal("cannot open --trace file '%s'", trace_file.c_str());
+        lifecycle_sink.writeChromeTrace(os);
+        std::cout << "wrote Chrome trace ("
+                  << lifecycle_sink.completeLifecycles()
+                  << " complete message lifecycles) to " << trace_file
+                  << "\n";
+    }
     return 0;
 }

@@ -3,10 +3,23 @@
  * Google-benchmark microbenchmarks of the message-handling hot paths:
  * NI send/receive throughput, the full two-instruction remote-read
  * server loop, and MsgIp computation.
+ *
+ * Flags (besides the standard --benchmark_* set):
+ *   --json FILE    write benchmark results as JSON
+ *                  (shorthand for --benchmark_out=FILE
+ *                   --benchmark_out_format=json)
+ *   --trace FILE   write a Chrome trace of the message lifecycles
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/trace.hh"
 #include "cpu/cpu.hh"
 #include "msg/kernels.hh"
 #include "msg/protocol.hh"
@@ -113,4 +126,54 @@ BENCHMARK(BM_TwoInstructionServerLoop);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Translate the repo-wide observability flags into the
+    // google-benchmark equivalents before Initialize() consumes argv.
+    std::string trace_file;
+    std::vector<char *> args;
+    std::vector<std::string> storage;
+    args.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+            storage.push_back(std::string("--benchmark_out=") +
+                              argv[++i]);
+            storage.push_back("--benchmark_out_format=json");
+        } else if (!std::strcmp(argv[i], "--trace") && i + 1 < argc) {
+            trace_file = argv[++i];
+        } else {
+            args.push_back(argv[i]);
+        }
+    }
+    for (std::string &s : storage)
+        args.push_back(s.data());
+
+    tcpni::trace::TraceSink lifecycle_sink;
+    if (!trace_file.empty())
+        tcpni::trace::setSink(&lifecycle_sink);
+
+    int benchmark_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&benchmark_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(benchmark_argc,
+                                               args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    if (!trace_file.empty()) {
+        tcpni::trace::setSink(nullptr);
+        std::ofstream os(trace_file);
+        if (!os) {
+            std::cerr << "cannot open --trace file '" << trace_file
+                      << "'\n";
+            return 1;
+        }
+        lifecycle_sink.writeChromeTrace(os);
+        std::cerr << "wrote Chrome trace ("
+                  << lifecycle_sink.completeLifecycles()
+                  << " complete message lifecycles) to " << trace_file
+                  << "\n";
+    }
+    return 0;
+}

@@ -12,17 +12,24 @@
  * Flags:
  *   --offchip-delay N   off-chip load-use delay (default 2; Section
  *                       4.2.3 studies 8)
+ *   --no-overlap        dispatch without the NextMsgIp overlap
+ *   --json FILE         write measured + paper cells as JSON
+ *   --trace FILE        write a Chrome trace of the kernel messages
  */
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/stats.hh"
 #include "common/table.hh"
+#include "common/trace.hh"
 #include "cost/table1.hh"
 
 using namespace tcpni;
@@ -214,6 +221,43 @@ printComparison(const MeasuredTable &m,
               << close << ", larger deviation: " << off << "\n";
 }
 
+std::string
+jnum(double v)
+{
+    char buf[40];
+    if (!std::isfinite(v))
+        return "0";
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    return buf;
+}
+
+void
+writeCellsJson(std::ostream &os,
+               const std::map<std::string,
+                              std::array<PaperCell, 6>> &cells)
+{
+    auto models = ni::allModels();
+    os << "{";
+    bool first_row = true;
+    for (const RowSpec &row : rowSpecs()) {
+        os << (first_row ? "\n" : ",\n");
+        first_row = false;
+        os << "\"" << stats::jsonEscape(row.key) << "\":{"
+           << "\"section\":\"" << row.section << "\",\"label\":\""
+           << stats::jsonEscape(row.label) << "\",\"cells\":{";
+        const auto &arr = cells.at(row.key);
+        for (size_t i = 0; i < 6; ++i) {
+            os << (i ? "," : "") << "\""
+               << stats::jsonEscape(models[i].name())
+               << "\":{\"lo\":" << jnum(arr[i].lo) << ",\"hi\":"
+               << jnum(arr[i].hi) << ",\"slope\":"
+               << jnum(arr[i].slope) << "}";
+        }
+        os << "}}";
+    }
+    os << "\n}";
+}
+
 } // namespace
 
 int
@@ -221,12 +265,21 @@ main(int argc, char **argv)
 {
     Cycles offchip = 2;
     bool no_overlap = false;
+    std::string json_file, trace_file;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--offchip-delay") && i + 1 < argc)
             offchip = static_cast<Cycles>(std::atoi(argv[++i]));
         else if (!std::strcmp(argv[i], "--no-overlap"))
             no_overlap = true;
+        else if (!std::strcmp(argv[i], "--json") && i + 1 < argc)
+            json_file = argv[++i];
+        else if (!std::strcmp(argv[i], "--trace") && i + 1 < argc)
+            trace_file = argv[++i];
     }
+
+    trace::TraceSink lifecycle_sink;
+    if (!trace_file.empty())
+        trace::setSink(&lifecycle_sink);
 
     logging::quiet = true;
 
@@ -243,5 +296,30 @@ main(int argc, char **argv)
     printTable("Measured (this reproduction)", measured.cells);
     printTable("Paper (Henry & Joerg 1992, Table 1)", paperTable1());
     printComparison(measured, paperTable1());
+
+    if (!json_file.empty()) {
+        std::ofstream os(json_file);
+        if (!os)
+            fatal("cannot open --json file '%s'", json_file.c_str());
+        os << "{\"config\":{\"offchipDelay\":" << offchip
+           << ",\"noOverlap\":" << (no_overlap ? "true" : "false")
+           << "},\n\"measured\":";
+        writeCellsJson(os, measured.cells);
+        os << ",\n\"paper\":";
+        writeCellsJson(os, paperTable1());
+        os << "}\n";
+        std::cout << "\nwrote JSON results to " << json_file << "\n";
+    }
+    if (!trace_file.empty()) {
+        trace::setSink(nullptr);
+        std::ofstream os(trace_file);
+        if (!os)
+            fatal("cannot open --trace file '%s'", trace_file.c_str());
+        lifecycle_sink.writeChromeTrace(os);
+        std::cout << "wrote Chrome trace ("
+                  << lifecycle_sink.completeLifecycles()
+                  << " complete message lifecycles) to " << trace_file
+                  << "\n";
+    }
     return 0;
 }

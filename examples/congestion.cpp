@@ -17,9 +17,16 @@
  * and how long the sender stalled.
  *
  * Build & run:  ./build/examples/congestion
+ *
+ * Observability: run with TCPNI_TRACE=NI,NOC to watch the queue
+ * thresholds assert and the mesh backpressure engage cycle by cycle;
+ * pass --json FILE to dump the per-node NI statistics (including the
+ * time-weighted queue occupancies) as JSON.
  */
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 
 #include "common/logging.hh"
 #include "msg/kernels.hh"
@@ -28,8 +35,13 @@
 using namespace tcpni;
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string json_file;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--json") && i + 1 < argc)
+            json_file = argv[++i];
+    }
     sys::NodeConfig sender_cfg;
     sender_cfg.ni.placement = ni::Placement::registerFile;
     sender_cfg.ni.outputQueueDepth = 4;
@@ -130,6 +142,12 @@ main()
                 fast_count);
     std::printf("sender SEND-stall cycles (full output queue): %llu\n",
                 static_cast<unsigned long long>(stalls));
+
+    if (!json_file.empty()) {
+        std::ofstream os(json_file);
+        machine.dumpStatsJson(os);
+        std::printf("wrote NI statistics to %s\n", json_file.c_str());
+    }
 
     bool ok = quiesced && slow_count + fast_count == 40 &&
               fast_count > 0 && slow_count > 0 && stalls > 0;

@@ -10,6 +10,10 @@
  * the replies.
  *
  * Build & run:  ./build/examples/quickstart
+ *
+ * To watch every message cross the machine, enable the debug trace
+ * flags:  TCPNI_TRACE=NI,NOC,DISPATCH ./build/examples/quickstart
+ * (CPU adds per-instruction retire lines; "all" enables everything).
  */
 
 #include <cstdio>

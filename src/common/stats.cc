@@ -1,7 +1,9 @@
 #include "common/stats.hh"
 
 #include <cmath>
+#include <cstdio>
 #include <iomanip>
+#include <sstream>
 
 #include "common/logging.hh"
 
@@ -126,6 +128,14 @@ StatGroup::addDistribution(const std::string &name, const Distribution *stat,
 }
 
 void
+StatGroup::addTimeWeighted(const std::string &name,
+                           const TimeWeighted *stat,
+                           const std::string &desc)
+{
+    entries_.push_back({name, {Entry::Kind::timeWeighted, stat, desc}});
+}
+
+void
 StatGroup::dump(std::ostream &os) const
 {
     auto line = [&](const std::string &stat_name, const std::string &value,
@@ -163,8 +173,109 @@ StatGroup::dump(std::ostream &os) const
             line(stat_name + ".mean", mean_ss.str(), entry.desc);
             break;
           }
+          case Entry::Kind::timeWeighted: {
+            auto *t = static_cast<const TimeWeighted *>(entry.stat);
+            std::ostringstream avg_ss;
+            avg_ss << std::fixed << std::setprecision(3) << t->avg();
+            line(stat_name + ".avg", avg_ss.str(), entry.desc);
+            line(stat_name + ".max", std::to_string(t->max()),
+                 entry.desc);
+            break;
+          }
         }
     }
+}
+
+namespace
+{
+
+/** Render a double as JSON (finite guard; NaN/inf become 0). */
+std::string
+jsonNum(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+StatGroup::dumpJson(std::ostream &os) const
+{
+    os << "{\"name\":\"" << jsonEscape(name_) << "\",\"stats\":{";
+    bool first = true;
+    for (const auto &[stat_name, entry] : entries_) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"" << jsonEscape(stat_name) << "\":";
+        switch (entry.kind) {
+          case Entry::Kind::scalar: {
+            auto *s = static_cast<const Scalar *>(entry.stat);
+            os << s->value();
+            break;
+          }
+          case Entry::Kind::vector: {
+            auto *v = static_cast<const Vector *>(entry.stat);
+            os << "{\"values\":[";
+            for (size_t i = 0; i < v->size(); ++i)
+                os << (i ? "," : "") << v->at(i);
+            os << "],\"total\":" << v->total() << "}";
+            break;
+          }
+          case Entry::Kind::dist: {
+            auto *d = static_cast<const Distribution *>(entry.stat);
+            os << "{\"count\":" << d->count()
+               << ",\"mean\":" << jsonNum(d->mean())
+               << ",\"stddev\":" << jsonNum(d->stddev())
+               << ",\"min\":" << jsonNum(d->min())
+               << ",\"max\":" << jsonNum(d->max())
+               << ",\"underflow\":" << d->underflow()
+               << ",\"overflow\":" << d->overflow()
+               << ",\"buckets\":[";
+            const auto &b = d->buckets();
+            for (size_t i = 0; i < b.size(); ++i)
+                os << (i ? "," : "") << b[i];
+            os << "]}";
+            break;
+          }
+          case Entry::Kind::timeWeighted: {
+            auto *t = static_cast<const TimeWeighted *>(entry.stat);
+            os << "{\"avg\":" << jsonNum(t->avg())
+               << ",\"max\":" << t->max() << "}";
+            break;
+          }
+        }
+    }
+    os << "}}";
 }
 
 } // namespace stats

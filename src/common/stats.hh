@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "sim/types.hh"
+
 namespace tcpni
 {
 namespace stats
@@ -87,6 +89,61 @@ class Distribution
 };
 
 /**
+ * A time-weighted level statistic (e.g. queue occupancy).
+ *
+ * Call update(level, now) whenever the tracked level changes; the time
+ * integral of the level is accumulated so avg() is the true
+ * time-weighted mean, not a per-sample mean (a queue that sits full
+ * for 1000 cycles and empty for one update counts as full, unlike a
+ * sample-weighted Distribution).
+ */
+class TimeWeighted
+{
+  public:
+    TimeWeighted() = default;
+
+    /** Record that the level is @p level as of @p now. */
+    void
+    update(uint64_t level, Tick now)
+    {
+        if (now > last_) {
+            area_ += static_cast<double>(cur_) *
+                     static_cast<double>(now - last_);
+            last_ = now;
+        }
+        cur_ = level;
+        if (level > max_)
+            max_ = level;
+    }
+
+    /** Time-weighted mean level over [0, lastUpdate()]. */
+    double
+    avg() const
+    {
+        return last_ > 0 ? area_ / static_cast<double>(last_)
+                         : static_cast<double>(cur_);
+    }
+
+    uint64_t max() const { return max_; }
+    uint64_t current() const { return cur_; }
+    Tick lastUpdate() const { return last_; }
+
+    void
+    reset()
+    {
+        cur_ = max_ = 0;
+        area_ = 0;
+        last_ = 0;
+    }
+
+  private:
+    uint64_t cur_ = 0;
+    uint64_t max_ = 0;
+    double area_ = 0;
+    Tick last_ = 0;
+};
+
+/**
  * A group of named statistics that can be dumped as text.
  *
  * Ownership: the group stores pointers to statistics owned by the
@@ -103,16 +160,27 @@ class StatGroup
                    const std::string &desc = "");
     void addDistribution(const std::string &name, const Distribution *stat,
                          const std::string &desc = "");
+    void addTimeWeighted(const std::string &name, const TimeWeighted *stat,
+                         const std::string &desc = "");
 
     const std::string &name() const { return name_; }
 
     /** Write "group.stat value # desc" lines to @p os. */
     void dump(std::ostream &os) const;
 
+    /**
+     * Write the group as one JSON object:
+     * {"name":"...","stats":{...}} -- scalars as numbers, vectors as
+     * {"values":[...],"total":n}, distributions as
+     * {"count","mean","stddev","min","max","underflow","overflow",
+     * "buckets"}, time-weighted stats as {"avg","max"}.
+     */
+    void dumpJson(std::ostream &os) const;
+
   private:
     struct Entry
     {
-        enum class Kind { scalar, vector, dist } kind;
+        enum class Kind { scalar, vector, dist, timeWeighted } kind;
         const void *stat;
         std::string desc;
     };
@@ -120,6 +188,9 @@ class StatGroup
     std::string name_;
     std::vector<std::pair<std::string, Entry>> entries_;
 };
+
+/** Escape a string for inclusion in a JSON string literal. */
+std::string jsonEscape(const std::string &s);
 
 } // namespace stats
 } // namespace tcpni

@@ -1,0 +1,334 @@
+#include "common/trace.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdarg>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <ostream>
+
+#include "common/logging.hh"
+
+namespace tcpni
+{
+namespace trace
+{
+
+namespace detail
+{
+uint32_t enabledMask = 0;
+} // namespace detail
+
+namespace
+{
+
+std::ostream *stream_ = nullptr;
+TraceSink *sink_ = nullptr;
+uint64_t nextId_ = 1;
+
+struct FlagEntry
+{
+    const char *name;
+    Flag flag;
+};
+
+constexpr FlagEntry flagTable[] = {
+    {"NI", Flag::NI},           {"NOC", Flag::NOC},
+    {"CPU", Flag::CPU},         {"DISPATCH", Flag::DISPATCH},
+    {"EVENT", Flag::EVENT},     {"TAM", Flag::TAM},
+};
+
+/** Apply TCPNI_TRACE once at program start. */
+struct EnvInit
+{
+    EnvInit() { initFromEnv(); }
+} envInit;
+
+} // namespace
+
+void
+enable(Flag f)
+{
+    detail::enabledMask |= static_cast<uint32_t>(f);
+}
+
+void
+disable(Flag f)
+{
+    detail::enabledMask &= ~static_cast<uint32_t>(f);
+}
+
+void
+enableAll()
+{
+    detail::enabledMask = allFlagsMask;
+}
+
+void
+disableAll()
+{
+    detail::enabledMask = 0;
+}
+
+const char *
+flagName(Flag f)
+{
+    for (const FlagEntry &e : flagTable) {
+        if (e.flag == f)
+            return e.name;
+    }
+    return "?";
+}
+
+bool
+parseFlag(const std::string &name, Flag &out)
+{
+    std::string upper;
+    for (char c : name)
+        upper.push_back(static_cast<char>(std::toupper(c)));
+    for (const FlagEntry &e : flagTable) {
+        if (upper == e.name) {
+            out = e.flag;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+setFromString(const std::string &spec)
+{
+    bool all_known = true;
+    std::string token;
+    auto apply = [&]() {
+        if (token.empty())
+            return;
+        std::string upper;
+        for (char c : token)
+            upper.push_back(static_cast<char>(std::toupper(c)));
+        if (upper == "ALL") {
+            enableAll();
+        } else {
+            Flag f;
+            if (parseFlag(token, f)) {
+                enable(f);
+            } else {
+                warn("unknown trace flag '%s' ignored (known: NI NOC "
+                     "CPU DISPATCH EVENT TAM ALL)", token.c_str());
+                all_known = false;
+            }
+        }
+        token.clear();
+    };
+    for (char c : spec) {
+        if (c == ',' || c == ' ' || c == '\t')
+            apply();
+        else
+            token.push_back(c);
+    }
+    apply();
+    return all_known;
+}
+
+void
+initFromEnv()
+{
+    const char *env = std::getenv("TCPNI_TRACE");
+    if (env && env[0])
+        setFromString(env);
+}
+
+void
+setStream(std::ostream *os)
+{
+    stream_ = os;
+}
+
+std::ostream &
+stream()
+{
+    return stream_ ? *stream_ : std::cerr;
+}
+
+void
+emit(Flag, Tick tick, const std::string &who, const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = logging::vformat(fmt, ap);
+    va_end(ap);
+    stream() << tick << ": " << who << ": " << msg << '\n';
+}
+
+uint64_t
+nextTraceId()
+{
+    return nextId_++;
+}
+
+const char *
+stageName(Stage s)
+{
+    switch (s) {
+      case Stage::inject: return "inject";
+      case Stage::hop: return "hop";
+      case Stage::arrive: return "arrive";
+      case Stage::dispatch: return "dispatch";
+      case Stage::done: return "done";
+    }
+    return "?";
+}
+
+TraceSink *
+sink()
+{
+    return sink_;
+}
+
+void
+setSink(TraceSink *s)
+{
+    sink_ = s;
+}
+
+void
+TraceSink::record(uint64_t id, Stage stage, NodeId node, Tick tick,
+                  uint8_t type)
+{
+    if (events_.size() >= limit_) {
+        if (dropped_++ == 0)
+            warn("trace sink full (%zu events); further lifecycle "
+                 "events dropped", limit_);
+        return;
+    }
+    events_.push_back({id, stage, node, tick, type});
+}
+
+std::vector<LifecycleEvent>
+TraceSink::lifecycle(uint64_t id) const
+{
+    std::vector<LifecycleEvent> out;
+    for (const LifecycleEvent &e : events_) {
+        if (e.id == id)
+            out.push_back(e);
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const LifecycleEvent &a, const LifecycleEvent &b) {
+                         if (a.tick != b.tick)
+                             return a.tick < b.tick;
+                         return static_cast<uint8_t>(a.stage) <
+                                static_cast<uint8_t>(b.stage);
+                     });
+    return out;
+}
+
+size_t
+TraceSink::completeLifecycles() const
+{
+    std::map<uint64_t, unsigned> seen;
+    for (const LifecycleEvent &e : events_) {
+        if (e.stage == Stage::inject || e.stage == Stage::arrive)
+            seen[e.id] |= 1;
+        if (e.stage == Stage::dispatch)
+            seen[e.id] |= 2;
+    }
+    size_t n = 0;
+    for (const auto &[id, mask] : seen) {
+        (void)id;
+        if (mask == 3)
+            ++n;
+    }
+    return n;
+}
+
+void
+TraceSink::clear()
+{
+    events_.clear();
+    dropped_ = 0;
+}
+
+void
+TraceSink::writeChromeTrace(std::ostream &os) const
+{
+    // Group events per message, ordered by time.
+    std::map<uint64_t, std::vector<LifecycleEvent>> byId;
+    std::map<NodeId, bool> nodes;
+    for (const LifecycleEvent &e : events_) {
+        byId[e.id].push_back(e);
+        nodes[e.node] = true;
+    }
+
+    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+    bool first = true;
+    auto sep = [&]() {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n";
+    };
+
+    // One named track per node.
+    for (const auto &[node, unused] : nodes) {
+        (void)unused;
+        sep();
+        os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+           << "\"tid\":" << node << ",\"args\":{\"name\":\"node "
+           << node << "\"}}";
+    }
+
+    auto slice = [&](const char *phase, Tick start, Tick end, NodeId tid,
+                     uint64_t id, uint8_t type) {
+        sep();
+        os << "{\"name\":\"" << phase << "\",\"cat\":\"msg\","
+           << "\"ph\":\"X\",\"ts\":" << start << ",\"dur\":"
+           << (end - start) << ",\"pid\":0,\"tid\":" << tid
+           << ",\"args\":{\"id\":" << id << ",\"type\":"
+           << unsigned(type) << "}}";
+    };
+
+    for (const auto &[id, raw] : byId) {
+        std::vector<LifecycleEvent> evs = lifecycle(id);
+        const LifecycleEvent *inject = nullptr, *arrive = nullptr;
+        const LifecycleEvent *dispatch = nullptr, *done = nullptr;
+        for (const LifecycleEvent &e : evs) {
+            switch (e.stage) {
+              case Stage::inject: if (!inject) inject = &e; break;
+              case Stage::arrive: if (!arrive) arrive = &e; break;
+              case Stage::dispatch: if (!dispatch) dispatch = &e; break;
+              case Stage::done: if (!done) done = &e; break;
+              case Stage::hop: {
+                // Instant event on the router's track.
+                sep();
+                os << "{\"name\":\"hop\",\"cat\":\"msg\",\"ph\":\"i\","
+                   << "\"ts\":" << e.tick << ",\"pid\":0,\"tid\":"
+                   << e.node << ",\"s\":\"t\",\"args\":{\"id\":" << id
+                   << "}}";
+                break;
+              }
+            }
+        }
+        uint8_t type = evs.empty() ? 0 : evs.front().type;
+        if (inject && arrive)
+            slice("network", inject->tick, arrive->tick, arrive->node,
+                  id, type);
+        if (arrive && dispatch)
+            slice("queued", arrive->tick, dispatch->tick, dispatch->node,
+                  id, type);
+        if (dispatch && done)
+            slice("handler", dispatch->tick, done->tick, done->node, id,
+                  type);
+    }
+
+    if (dropped_ > 0) {
+        sep();
+        os << "{\"name\":\"trace_truncated\",\"ph\":\"M\",\"pid\":0,"
+           << "\"tid\":0,\"args\":{\"dropped_events\":" << dropped_
+           << "}}";
+    }
+    os << "\n]}\n";
+}
+
+} // namespace trace
+} // namespace tcpni

@@ -1,6 +1,7 @@
 #include "cpu/cpu.hh"
 
 #include "common/logging.hh"
+#include "common/trace.hh"
 #include "noc/message.hh"
 
 namespace tcpni
@@ -195,6 +196,8 @@ Cpu::tick()
     // (never inside a branch shadow): save the return address in the
     // interrupt link register and redirect to the handler.
     if (pendingInterrupt_ && !branchTarget_) {
+        TCPNI_TRACE(CPU, "interrupt: handler entry 0x%08x "
+                    "(return 0x%08x)", *pendingInterrupt_, pc_);
         writeGpr(intLinkReg, pc_, now + 1);
         pc_ = *pendingInterrupt_;
         pendingInterrupt_.reset();
@@ -224,6 +227,8 @@ Cpu::tick()
                static_cast<unsigned long long>(now), pc_,
                isa::disassemble(inst).c_str());
     }
+    TCPNI_TRACE(CPU, "pc=0x%08x %s", pc_,
+                isa::disassemble(inst).c_str());
 
     const Addr ipc = pc_;
     if (!execute(inst)) {
@@ -438,6 +443,8 @@ Cpu::execute(const Instruction &inst)
       }
 
       case Opcode::halt:
+        TCPNI_TRACE(CPU, "halt after %llu instructions",
+                    static_cast<unsigned long long>(instructions_ + 1));
         halted_ = true;
         return true;
     }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/trace.hh"
 
 namespace tcpni
 {
@@ -37,6 +38,23 @@ NetworkInterface::NetworkInterface(std::string name, EventQueue &eq,
                           "privileged/PIN-mismatched messages queued");
     statGroup().addScalar("interrupts", &interrupts_,
                           "message-arrival interrupts delivered");
+    statGroup().addDistribution("e2eLatency", &e2eLatency_,
+                                "send-enqueue to dispatch (cycles)");
+    statGroup().addDistribution("netLatency", &netLatency_,
+                                "send-enqueue to arrival (cycles)");
+    statGroup().addDistribution("queueLatency", &queueLatency_,
+                                "arrival to dispatch (cycles)");
+    statGroup().addTimeWeighted("inputOccupancy", &inputOcc_,
+                                "time-weighted input queue depth");
+    statGroup().addTimeWeighted("outputOccupancy", &outputOcc_,
+                                "time-weighted output queue depth");
+}
+
+void
+NetworkInterface::noteQueueLevels()
+{
+    inputOcc_.update(inputQueue_.size(), curTick());
+    outputOcc_.update(outputQueue_.size(), curTick());
 }
 
 unsigned
@@ -248,10 +266,14 @@ NetworkInterface::enqueueSend(Message msg)
         if (bits(control_, control::stallOnFullBit)) {
             // Section 2.1.1: stall the processor until the output
             // queue empties.
+            TCPNI_TRACE(NI, "SEND stalls: output queue full (%zu)",
+                        outputQueue_.size());
             return CmdResult::stall;
         }
         ++overflowExc_;
         raise(ExcCode::outputOverflow);
+        TCPNI_TRACE(NI, "SEND overflows: output queue full (%zu)",
+                    outputQueue_.size());
         return CmdResult::ok;
     }
     if (config_.traceMessages) {
@@ -259,8 +281,25 @@ NetworkInterface::enqueueSend(Message msg)
                static_cast<unsigned long long>(curTick()),
                name().c_str(), msg.toString().c_str());
     }
+
+    msg.traceId = trace::nextTraceId();
+    msg.injectTick = curTick();
+    if (auto *s = trace::sink())
+        s->record(msg.traceId, trace::Stage::inject, node_, curTick(),
+                  msg.type);
+    TCPNI_TRACE(NI, "SEND id=%llu %s",
+                static_cast<unsigned long long>(msg.traceId),
+                msg.toString().c_str());
+
+    const bool was_oafull = oafull();
     outputQueue_.push_back(std::move(msg));
     ++sent_;
+    noteQueueLevels();
+    if (!was_oafull && oafull()) {
+        TCPNI_TRACE(NI, "oafull asserted (output queue %zu > "
+                    "threshold %u)", outputQueue_.size(),
+                    outThreshold());
+    }
     schedulePump();
     return CmdResult::ok;
 }
@@ -292,6 +331,8 @@ NetworkInterface::command(const isa::NiCommand &cmd)
 void
 NetworkInterface::scrollOut()
 {
+    TCPNI_TRACE(NI, "SCROLL-OUT banks 5 words (%zu pending)",
+                pendingOut_.size() + msgWords);
     for (unsigned k = 0; k < msgWords; ++k)
         pendingOut_.push_back(outputRegs_[k]);
 }
@@ -300,9 +341,12 @@ void
 NetworkInterface::scrollIn()
 {
     if (!inputValid_ || scrollOffset_ >= currentExtra_.size()) {
+        TCPNI_TRACE(NI, "SCROLL-IN past end raises inputPortError");
         raise(ExcCode::inputPortError);
         return;
     }
+    TCPNI_TRACE(NI, "SCROLL-IN advances to offset %zu of %zu",
+                scrollOffset_ + msgWords, currentExtra_.size());
     for (unsigned k = 0; k < msgWords; ++k) {
         size_t idx = scrollOffset_ + k;
         inputRegs_[k] = idx < currentExtra_.size() ? currentExtra_[idx]
@@ -314,7 +358,17 @@ NetworkInterface::scrollIn()
 void
 NetworkInterface::doNext()
 {
+    if (inputValid_ && currentTraceId_ != 0) {
+        // The handler is finished with the current message.
+        if (auto *s = trace::sink())
+            s->record(currentTraceId_, trace::Stage::done, node_,
+                      curTick(), currentType_);
+        TCPNI_TRACE(NI, "NEXT retires id=%llu type=%u",
+                    static_cast<unsigned long long>(currentTraceId_),
+                    currentType_);
+    }
     inputValid_ = false;
+    currentTraceId_ = 0;
     currentExtra_.clear();
     scrollOffset_ = 0;
     refill();
@@ -325,14 +379,33 @@ NetworkInterface::refill()
 {
     if (inputValid_ || inputQueue_.empty())
         return;
+    const bool was_iafull = iafull();
     Message m = std::move(inputQueue_.front());
     inputQueue_.pop_front();
+    noteQueueLevels();
+    if (was_iafull && !iafull()) {
+        TCPNI_TRACE(NI, "iafull deasserted (input queue %zu <= "
+                    "threshold %u)", inputQueue_.size(), inThreshold());
+    }
     for (unsigned k = 0; k < msgWords; ++k)
         inputRegs_[k] = m.words[k];
     currentType_ = m.type & 0xf;
     currentExtra_ = std::move(m.extra);
     scrollOffset_ = 0;
+    currentTraceId_ = m.traceId;
     inputValid_ = true;
+
+    // Lifecycle: the message is now visible to the handler.
+    e2eLatency_.sample(static_cast<double>(curTick() - m.injectTick));
+    queueLatency_.sample(static_cast<double>(curTick() - m.arriveTick));
+    if (m.traceId != 0) {
+        if (auto *s = trace::sink())
+            s->record(m.traceId, trace::Stage::dispatch, node_,
+                      curTick(), currentType_);
+    }
+    TCPNI_TRACE(DISPATCH, "dispatch id=%llu type=%u MsgIp=0x%08x",
+                static_cast<unsigned long long>(m.traceId),
+                currentType_, msgIp());
 
     // Interrupt-driven reception: a message advancing into empty
     // input registers interrupts the processor.  The enable bit
@@ -342,6 +415,8 @@ NetworkInterface::refill()
         config_.features.hwDispatch) {
         control_ &= ~(1u << control::intEnableBit);
         ++interrupts_;
+        TCPNI_TRACE(DISPATCH, "arrival interrupt -> handler 0x%08x",
+                    msgIp());
         interruptSink_(msgIp());
     }
 }
@@ -397,6 +472,8 @@ NetworkInterface::acceptFromNetwork(const Message &msg)
         // processes are stored in privileged state for the OS.
         if (privQueue_.size() >= 1024)
             panic("privileged queue overflow on node %u", node_);
+        TCPNI_TRACE(NI, "RX escrows %s to the privileged queue",
+                    msg.toString().c_str());
         privQueue_.push_back(msg);
         ++privReceived_;
         raise(msg.privileged ? ExcCode::privilegedPending
@@ -406,6 +483,8 @@ NetworkInterface::acceptFromNetwork(const Message &msg)
 
     if (inputQueue_.size() >= config_.inputQueueDepth) {
         ++refused_;
+        TCPNI_TRACE(NI, "RX refused (input queue full at %zu): %s",
+                    inputQueue_.size(), msg.toString().c_str());
         return false;
     }
     if (config_.traceMessages) {
@@ -413,8 +492,31 @@ NetworkInterface::acceptFromNetwork(const Message &msg)
                static_cast<unsigned long long>(curTick()),
                name().c_str(), msg.toString().c_str());
     }
-    inputQueue_.push_back(msg);
+
+    Message m = msg;
+    if (m.traceId == 0) {
+        // Injected directly by a test or harness, bypassing a sending
+        // NI: tag it here so the lifecycle still has a start.
+        m.traceId = trace::nextTraceId();
+        m.injectTick = curTick();
+    }
+    m.arriveTick = curTick();
+    netLatency_.sample(static_cast<double>(curTick() - m.injectTick));
+    if (auto *s = trace::sink())
+        s->record(m.traceId, trace::Stage::arrive, node_, curTick(),
+                  m.type);
+    TCPNI_TRACE(NI, "RX id=%llu %s",
+                static_cast<unsigned long long>(m.traceId),
+                m.toString().c_str());
+
+    const bool was_iafull = iafull();
+    inputQueue_.push_back(std::move(m));
     ++received_;
+    noteQueueLevels();
+    if (!was_iafull && iafull()) {
+        TCPNI_TRACE(NI, "iafull asserted (input queue %zu > "
+                    "threshold %u)", inputQueue_.size(), inThreshold());
+    }
     refill();
     return true;
 }
@@ -451,7 +553,17 @@ NetworkInterface::pump()
     // One injection attempt per cycle.
     if (!outputQueue_.empty() &&
         network_.offer(node_, outputQueue_.front())) {
+        const bool was_oafull = oafull();
+        TCPNI_TRACE(NI, "inject id=%llu into the fabric",
+                    static_cast<unsigned long long>(
+                        outputQueue_.front().traceId));
         outputQueue_.pop_front();
+        noteQueueLevels();
+        if (was_oafull && !oafull()) {
+            TCPNI_TRACE(NI, "oafull deasserted (output queue %zu <= "
+                        "threshold %u)", outputQueue_.size(),
+                        outThreshold());
+        }
     }
     if (!outputQueue_.empty())
         eventq().schedule(&pumpEvent_, curTick() + 1);

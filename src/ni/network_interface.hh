@@ -118,6 +118,26 @@ class NetworkInterface : public SimObject
     ExcCode pendingException() const { return excCode_; }
     uint64_t numSent() const { return sent_.value(); }
     uint64_t numReceived() const { return received_.value(); }
+    /** Trace id of the message currently in the input registers. */
+    uint64_t currentTraceId() const { return currentTraceId_; }
+    /** @} */
+
+    /** @{ Latency and occupancy statistics (see the stat
+     *     descriptions registered in the constructor). */
+    const stats::Distribution &e2eLatency() const { return e2eLatency_; }
+    const stats::Distribution &netLatency() const { return netLatency_; }
+    const stats::Distribution &queueLatency() const
+    {
+        return queueLatency_;
+    }
+    const stats::TimeWeighted &inputOccupancy() const
+    {
+        return inputOcc_;
+    }
+    const stats::TimeWeighted &outputOccupancy() const
+    {
+        return outputOcc_;
+    }
     /** @} */
 
     /** True if a SEND issued now would stall under the stall-on-full
@@ -176,6 +196,10 @@ class NetworkInterface : public SimObject
     /** Record an exceptional condition (first pending wins). */
     void raise(ExcCode code);
 
+    /** Fold the current queue depths into the time-weighted
+     *  occupancy stats (call after any queue size change). */
+    void noteQueueLevels();
+
     /** Figure-7 case analysis for an arbitrary "current" message. */
     Word dispatchFor(bool valid, uint8_t type, Word word1) const;
 
@@ -210,6 +234,9 @@ class NetworkInterface : public SimObject
     /** Extra words of the message currently in the input registers. */
     std::vector<Word> currentExtra_;
 
+    /** Lifecycle trace id of the message in the input registers. */
+    uint64_t currentTraceId_ = 0;
+
     PumpEvent pumpEvent_;
     std::function<void(Word)> interruptSink_;
 
@@ -219,6 +246,18 @@ class NetworkInterface : public SimObject
     stats::Scalar refused_;
     stats::Scalar overflowExc_;
     stats::Scalar privReceived_;
+
+    /** @{ Message-latency distributions (cycles), sampled when a
+     *     message advances into the input registers. */
+    stats::Distribution e2eLatency_{0, 200, 20};   //!< send -> dispatch
+    stats::Distribution netLatency_{0, 100, 20};   //!< send -> arrival
+    stats::Distribution queueLatency_{0, 100, 20}; //!< arrival -> disp
+    /** @} */
+
+    /** @{ Time-weighted input/output queue occupancy. */
+    stats::TimeWeighted inputOcc_;
+    stats::TimeWeighted outputOcc_;
+    /** @} */
 };
 
 } // namespace ni

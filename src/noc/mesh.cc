@@ -1,6 +1,7 @@
 #include "noc/mesh.hh"
 
 #include "common/logging.hh"
+#include "common/trace.hh"
 
 namespace tcpni
 {
@@ -88,8 +89,14 @@ MeshNetwork::offer(NodeId src, const Message &msg)
               msg.toString().c_str());
     }
     auto &q = routers_[src].inq[static_cast<unsigned>(Port::local)];
-    if (q.size() >= bufferDepth_)
+    if (q.size() >= bufferDepth_) {
+        TCPNI_TRACE(NOC, "refuse injection at node %u (buffer full)",
+                    src);
         return false;
+    }
+    TCPNI_TRACE(NOC, "accept id=%llu at node %u for node %u",
+                static_cast<unsigned long long>(msg.traceId), src,
+                msg.dest());
     q.push_back({msg, curTick(), curTick()});
     ++injected_;
     ++occupied_;
@@ -148,6 +155,12 @@ MeshNetwork::tick()
                     if (deliver(head.msg)) {
                         latency_.sample(
                             static_cast<double>(now - head.injectTick));
+                        TCPNI_TRACE(NOC, "eject id=%llu at node %u "
+                                    "(%llu cycles in fabric)",
+                                    static_cast<unsigned long long>(
+                                        head.msg.traceId), r,
+                                    static_cast<unsigned long long>(
+                                        now - head.injectTick));
                         q.pop_front();
                         --occupied_;
                         moved = true;
@@ -160,6 +173,12 @@ MeshNetwork::tick()
                         InFlight m = head;
                         q.pop_front();
                         m.movedAt = now;
+                        if (auto *s = trace::sink())
+                            s->record(m.msg.traceId, trace::Stage::hop,
+                                      dst, now, m.msg.type);
+                        TCPNI_TRACE(NOC, "hop id=%llu node %u -> %u",
+                                    static_cast<unsigned long long>(
+                                        m.msg.traceId), r, dst);
                         dq.push_back(std::move(m));
                         moved = true;
                     }

@@ -82,6 +82,18 @@ struct Message
      */
     std::vector<Word> extra;
 
+    /**
+     * @{ Instrumentation envelope (not architectural state): the
+     * monotonically increasing lifecycle trace id assigned when the
+     * message enters an NI output queue (0 = untagged), and the ticks
+     * at which it was injected and arrived, used for the NI latency
+     * distributions.  Excluded from equality.
+     */
+    uint64_t traceId = 0;
+    Tick injectTick = 0;
+    Tick arriveTick = 0;
+    /** @} */
+
     /** Total payload length in words. */
     size_t length() const { return msgWords + extra.size(); }
 
@@ -94,7 +106,15 @@ struct Message
     /** Human-readable rendering for traces and test failures. */
     std::string toString() const;
 
-    bool operator==(const Message &) const = default;
+    /** Architectural equality: the instrumentation envelope (trace id
+     *  and timestamps) is ignored. */
+    bool
+    operator==(const Message &o) const
+    {
+        return words == o.words && type == o.type && pin == o.pin &&
+               privileged == o.privileged && src == o.src &&
+               dst == o.dst && extra == o.extra;
+    }
 };
 
 } // namespace tcpni

@@ -1,5 +1,7 @@
 #include "noc/network.hh"
 
+#include "common/trace.hh"
+
 namespace tcpni
 {
 
@@ -10,8 +12,12 @@ IdealNetwork::IdealNetwork(std::string name, EventQueue &eq,
 }
 
 bool
-IdealNetwork::offer(NodeId, const Message &msg)
+IdealNetwork::offer(NodeId src, const Message &msg)
 {
+    TCPNI_TRACE(NOC, "accept id=%llu at node %u for node %u "
+                "(ideal, %llu-cycle latency)",
+                static_cast<unsigned long long>(msg.traceId), src,
+                msg.dest(), static_cast<unsigned long long>(latency_));
     auto *ev = new DeliverEvent(*this, msg);
     eventq().schedule(ev, curTick() + latency_);
     ++inFlight_;

@@ -1,6 +1,7 @@
 #include "sim/event_queue.hh"
 
 #include "common/logging.hh"
+#include "common/trace.hh"
 
 namespace tcpni
 {
@@ -64,6 +65,8 @@ EventQueue::step()
         e.ev->scheduled_ = false;
         --nscheduled_;
         ++numProcessed_;
+        TCPNI_TRACE_AT(EVENT, e.when, "eventq", "fire %s pri=%d",
+                       e.ev->name().c_str(), e.priority);
         e.ev->process();
         return true;
     }
@@ -87,6 +90,8 @@ EventQueue::run(Tick max_tick)
         e.ev->scheduled_ = false;
         --nscheduled_;
         ++numProcessed_;
+        TCPNI_TRACE_AT(EVENT, e.when, "eventq", "fire %s pri=%d",
+                       e.ev->name().c_str(), e.priority);
         e.ev->process();
     }
     return curTick_;

@@ -76,5 +76,24 @@ System::dumpStats(std::ostream &os) const
     mesh_->statGroup().dump(os);
 }
 
+void
+System::dumpStatsJson(std::ostream &os) const
+{
+    os << "{\"ticks\":" << eq_.curTick() << ",\"groups\":[";
+    bool first = true;
+    for (const auto &n : nodes_) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n";
+        n->ni().statGroup().dumpJson(os);
+    }
+    if (!first)
+        os << ",";
+    os << "\n";
+    mesh_->statGroup().dumpJson(os);
+    os << "\n]}\n";
+}
+
 } // namespace sys
 } // namespace tcpni

@@ -87,6 +87,10 @@ class System
      *  lines): per-node NI counters and the mesh latency profile. */
     void dumpStats(std::ostream &os) const;
 
+    /** Dump the same statistics as machine-readable JSON:
+     *  {"ticks":N,"groups":[{"name":...,"stats":{...}}, ...]}. */
+    void dumpStatsJson(std::ostream &os) const;
+
   private:
     EventQueue eq_;
     std::unique_ptr<MeshNetwork> mesh_;

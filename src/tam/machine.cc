@@ -1,6 +1,7 @@
 #include "tam/machine.hh"
 
 #include "common/logging.hh"
+#include "common/trace.hh"
 
 namespace tcpni
 {
@@ -171,6 +172,8 @@ Machine::send(Continuation c, const std::vector<Value> &vals)
                    : vals.size() == 1 ? MsgKind::send1
                                       : MsgKind::send2;
     ++stats_.msgs[static_cast<size_t>(kind)];
+    TCPNI_TRACE_AT(TAM, steps_, "tam", "send%zu to frame %u inlet %u",
+                   vals.size(), c.frame, c.inlet);
     deliver(c, vals);
 }
 
@@ -178,6 +181,8 @@ void
 Machine::remoteRead(CellRef cell, Continuation c)
 {
     ++stats_.msgs[static_cast<size_t>(MsgKind::read)];
+    TCPNI_TRACE_AT(TAM, steps_, "tam", "read cell %u -> frame %u "
+                   "inlet %u", cell.id, c.frame, c.inlet);
     if (cell.id >= cells_.size())
         panic("remoteRead of unknown cell %u", cell.id);
     // The remote handler replies with a 1-word Send.
@@ -189,6 +194,7 @@ void
 Machine::remoteWrite(CellRef cell, Value v)
 {
     ++stats_.msgs[static_cast<size_t>(MsgKind::write)];
+    TCPNI_TRACE_AT(TAM, steps_, "tam", "write cell %u", cell.id);
     if (cell.id >= cells_.size())
         panic("remoteWrite of unknown cell %u", cell.id);
     cells_[cell.id] = v;
@@ -207,6 +213,13 @@ Machine::ifetch(ArrayRef array, size_t idx, Continuation c)
                    : before == Presence::empty  ? MsgKind::preadEmpty
                                                 : MsgKind::preadDeferred;
     ++stats_.msgs[static_cast<size_t>(kind)];
+    TCPNI_TRACE_AT(TAM, steps_, "tam", "pread array %u[%zu] %s",
+                   array.id, idx,
+                   before == Presence::full
+                       ? "FULL -> reply"
+                       : before == Presence::empty
+                             ? "EMPTY -> DEFERRED (reader queued)"
+                             : "DEFERRED -> reader appended");
 
     IReadResult r = mem.read(idx, c.frame, c.inlet);
     if (r.full) {
@@ -232,6 +245,10 @@ Machine::istore(ArrayRef array, size_t idx, Value v)
     // while the IStructMemory tracks presence and continuations.
     IWriteResult w = mem.write(idx, 0);
     shadow_[array.id][idx] = v;
+    TCPNI_TRACE_AT(TAM, steps_, "tam", "pwrite array %u[%zu] %s -> "
+                   "FULL (releases %zu deferred readers)", array.id,
+                   idx, w.readers.empty() ? "EMPTY" : "DEFERRED",
+                   w.readers.size());
 
     if (!w.readers.empty()) {
         ++stats_.pwriteWithDeferred;

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "common/stats.hh"
@@ -87,6 +89,52 @@ TEST(Distribution, OverflowUnderflow)
     EXPECT_EQ(d.count(), 3);
 }
 
+TEST(Distribution, EmptyIsWellDefined)
+{
+    Distribution d(0, 100, 10);
+    EXPECT_EQ(d.count(), 0);
+    // No samples: the moments must be 0, never NaN or a division by
+    // zero.
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+    EXPECT_FALSE(std::isnan(d.mean()));
+    EXPECT_FALSE(std::isnan(d.stddev()));
+}
+
+TEST(Distribution, SingleSampleStddevIsZero)
+{
+    Distribution d(0, 100, 10);
+    d.sample(42.0);
+    // count < 2: the n-1 denominator would divide by zero; the guard
+    // must return 0 instead.
+    EXPECT_EQ(d.count(), 1);
+    EXPECT_DOUBLE_EQ(d.mean(), 42.0);
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+    EXPECT_FALSE(std::isnan(d.stddev()));
+}
+
+TEST(TimeWeighted, TimeWeightedAverage)
+{
+    TimeWeighted tw;
+    tw.update(4, 0);        // level 4 from tick 0
+    tw.update(0, 10);       // ...until tick 10, then empty
+    tw.update(0, 20);       // stays empty until tick 20
+    // 4*10 + 0*10 over 20 ticks = 2.0, even though 2 of the 3 samples
+    // were 0 (a sample-weighted mean would say 1.33).
+    EXPECT_DOUBLE_EQ(tw.avg(), 2.0);
+    EXPECT_EQ(tw.max(), 4u);
+    EXPECT_EQ(tw.current(), 0u);
+}
+
+TEST(TimeWeighted, NoTimeElapsed)
+{
+    TimeWeighted tw;
+    EXPECT_DOUBLE_EQ(tw.avg(), 0.0);
+    tw.update(3, 0);
+    EXPECT_DOUBLE_EQ(tw.avg(), 3.0);    // degenerate: current level
+    EXPECT_EQ(tw.max(), 3u);
+}
+
 TEST(Distribution, WeightedSamples)
 {
     Distribution d(0, 10, 10);
@@ -121,4 +169,46 @@ TEST(StatGroup, DumpVector)
     std::string out = os.str();
     EXPECT_NE(out.find("g.counts[0]"), std::string::npos);
     EXPECT_NE(out.find("g.counts.total"), std::string::npos);
+}
+
+TEST(StatGroup, DumpJson)
+{
+    Scalar s;
+    s = 7;
+    Vector v(2);
+    v[0] = 1;
+    v[1] = 2;
+    Distribution d(0, 10, 2);
+    d.sample(1);
+    d.sample(9);
+    TimeWeighted tw;
+    tw.update(2, 0);
+    tw.update(0, 4);
+
+    StatGroup g("node0.ni");
+    g.addScalar("sent", &s, "messages sent");
+    g.addVector("byType", &v);
+    g.addDistribution("latency", &d);
+    g.addTimeWeighted("occupancy", &tw);
+
+    std::ostringstream os;
+    g.dumpJson(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("\"name\":\"node0.ni\""), std::string::npos);
+    EXPECT_NE(out.find("\"sent\":7"), std::string::npos);
+    EXPECT_NE(out.find("\"total\":3"), std::string::npos);
+    EXPECT_NE(out.find("\"count\":2"), std::string::npos);
+    EXPECT_NE(out.find("\"mean\":5"), std::string::npos);
+    EXPECT_NE(out.find("\"avg\":2"), std::string::npos);
+    // Must be one syntactically balanced object.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '{'),
+              std::count(out.begin(), out.end(), '}'));
+}
+
+TEST(JsonEscape, SpecialCharacters)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
 }

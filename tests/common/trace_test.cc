@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/trace.hh"
+
+using namespace tcpni;
+using namespace tcpni::trace;
+
+namespace
+{
+
+/** Reset global trace state around every test. */
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        disableAll();
+        setStream(&captured_);
+        setSink(nullptr);
+    }
+
+    void
+    TearDown() override
+    {
+        disableAll();
+        setStream(nullptr);
+        setSink(nullptr);
+    }
+
+    std::string out() const { return captured_.str(); }
+
+    std::ostringstream captured_;
+};
+
+TEST_F(TraceTest, FlagsStartDisabled)
+{
+    for (Flag f : {Flag::NI, Flag::NOC, Flag::CPU, Flag::DISPATCH,
+                   Flag::EVENT, Flag::TAM})
+        EXPECT_FALSE(enabled(f)) << flagName(f);
+}
+
+TEST_F(TraceTest, EnableDisable)
+{
+    enable(Flag::NI);
+    EXPECT_TRUE(enabled(Flag::NI));
+    EXPECT_FALSE(enabled(Flag::NOC));
+    enable(Flag::NOC);
+    disable(Flag::NI);
+    EXPECT_FALSE(enabled(Flag::NI));
+    EXPECT_TRUE(enabled(Flag::NOC));
+    enableAll();
+    EXPECT_TRUE(enabled(Flag::TAM));
+    EXPECT_TRUE(enabled(Flag::EVENT));
+    disableAll();
+    EXPECT_FALSE(enabled(Flag::TAM));
+}
+
+TEST_F(TraceTest, ParseFlagIsCaseInsensitive)
+{
+    Flag f;
+    EXPECT_TRUE(parseFlag("NI", f));
+    EXPECT_EQ(f, Flag::NI);
+    EXPECT_TRUE(parseFlag("dispatch", f));
+    EXPECT_EQ(f, Flag::DISPATCH);
+    EXPECT_TRUE(parseFlag("Noc", f));
+    EXPECT_EQ(f, Flag::NOC);
+    EXPECT_FALSE(parseFlag("bogus", f));
+}
+
+TEST_F(TraceTest, SetFromString)
+{
+    EXPECT_TRUE(setFromString("NI,NOC"));
+    EXPECT_TRUE(enabled(Flag::NI));
+    EXPECT_TRUE(enabled(Flag::NOC));
+    EXPECT_FALSE(enabled(Flag::CPU));
+
+    disableAll();
+    EXPECT_TRUE(setFromString("all"));
+    for (Flag f : {Flag::NI, Flag::NOC, Flag::CPU, Flag::DISPATCH,
+                   Flag::EVENT, Flag::TAM})
+        EXPECT_TRUE(enabled(f)) << flagName(f);
+
+    disableAll();
+    // Unknown tokens are skipped (with a warning) but known ones still
+    // take effect.
+    EXPECT_FALSE(setFromString("NI,bogus"));
+    EXPECT_TRUE(enabled(Flag::NI));
+}
+
+TEST_F(TraceTest, InitFromEnv)
+{
+    ::setenv("TCPNI_TRACE", "CPU,TAM", 1);
+    initFromEnv();
+    ::unsetenv("TCPNI_TRACE");
+    EXPECT_TRUE(enabled(Flag::CPU));
+    EXPECT_TRUE(enabled(Flag::TAM));
+    EXPECT_FALSE(enabled(Flag::NI));
+}
+
+TEST_F(TraceTest, EmitFormat)
+{
+    enable(Flag::NI);
+    emit(Flag::NI, 42, "node0.ni", "send type=%u", 3u);
+    EXPECT_EQ(out(), "42: node0.ni: send type=3\n");
+}
+
+TEST_F(TraceTest, MacroSkipsWhenDisabled)
+{
+    int evaluations = 0;
+    auto cost = [&]() { ++evaluations; return 1; };
+    TCPNI_TRACE_AT(NI, 0, "t", "%d", cost());
+    EXPECT_EQ(evaluations, 0);      // disabled: args unevaluated
+    enable(Flag::NI);
+    TCPNI_TRACE_AT(NI, 0, "t", "%d", cost());
+    EXPECT_EQ(evaluations, 1);
+    EXPECT_EQ(out(), "0: t: 1\n");
+}
+
+TEST_F(TraceTest, TraceIdsAreMonotonic)
+{
+    uint64_t a = nextTraceId();
+    uint64_t b = nextTraceId();
+    EXPECT_GT(a, 0u);
+    EXPECT_EQ(b, a + 1);
+}
+
+TEST_F(TraceTest, SinkRecordsLifecycle)
+{
+    TraceSink s;
+    setSink(&s);
+    ASSERT_EQ(sink(), &s);
+
+    sink()->record(7, Stage::inject, 0, 100, 2);
+    sink()->record(7, Stage::hop, 1, 101, 2);
+    sink()->record(7, Stage::arrive, 2, 102, 2);
+    sink()->record(7, Stage::dispatch, 2, 103, 2);
+    sink()->record(7, Stage::done, 2, 110, 2);
+    sink()->record(8, Stage::inject, 1, 105, 0);    // incomplete
+
+    EXPECT_EQ(s.events().size(), 6u);
+    auto life = s.lifecycle(7);
+    ASSERT_EQ(life.size(), 5u);
+    EXPECT_EQ(life.front().stage, Stage::inject);
+    EXPECT_EQ(life.back().stage, Stage::done);
+    EXPECT_EQ(s.completeLifecycles(), 1u);
+
+    s.clear();
+    EXPECT_TRUE(s.events().empty());
+}
+
+TEST_F(TraceTest, SinkLimitCountsDrops)
+{
+    TraceSink s;
+    s.setLimit(2);
+    s.record(1, Stage::inject, 0, 0, 0);
+    s.record(1, Stage::arrive, 0, 1, 0);
+    s.record(1, Stage::dispatch, 0, 2, 0);
+    EXPECT_EQ(s.events().size(), 2u);
+    EXPECT_EQ(s.dropped(), 1u);
+}
+
+TEST_F(TraceTest, ChromeTraceOutput)
+{
+    TraceSink s;
+    s.record(9, Stage::inject, 0, 10, 2);
+    s.record(9, Stage::hop, 1, 11, 2);
+    s.record(9, Stage::arrive, 2, 12, 2);
+    s.record(9, Stage::dispatch, 2, 14, 2);
+    s.record(9, Stage::done, 2, 20, 2);
+
+    std::ostringstream os;
+    s.writeChromeTrace(os);
+    std::string json = os.str();
+
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("thread_name"), std::string::npos);
+    EXPECT_NE(json.find("\"network\""), std::string::npos);
+    EXPECT_NE(json.find("\"queued\""), std::string::npos);
+    EXPECT_NE(json.find("\"handler\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+    // Balanced JSON braces/brackets.
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+    EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+              std::count(json.begin(), json.end(), ']'));
+}
+
+} // namespace
