@@ -34,6 +34,27 @@ Program::regionId(const std::string &name) const
 namespace
 {
 
+/**
+ * Internal error raised while assembling one statement; caught by the
+ * pass loops, recorded as an AsmDiag, and recovery continues with the
+ * next statement.
+ */
+struct StmtError
+{
+    unsigned line;
+    std::string message;
+};
+
+std::string
+strformat(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string s = logging::vformat(fmt, ap);
+    va_end(ap);
+    return s;
+}
+
 /** Recursive-descent expression evaluator over the symbol table. */
 class ExprParser
 {
@@ -60,8 +81,7 @@ class ExprParser
   private:
     [[noreturn]] void err(const std::string &what)
     {
-        fatal("line %u: %s in expression '%s'", line_, what.c_str(),
-              text_.c_str());
+        throw StmtError{line_, what + " in expression '" + text_ + "'"};
     }
 
     void skipWs()
@@ -451,15 +471,19 @@ stmtSize(const Stmt &stmt,
     if (m == ".word")
         return 1;
     if (m == ".space") {
+        if (stmt.operands.empty())
+            throw StmtError{stmt.line, ".space needs a count"};
         ExprParser ep(stmt.operands.at(0), symbols, addr, stmt.line, true);
         return static_cast<size_t>(ep.evaluate());
     }
     if (m == ".align") {
+        if (stmt.operands.empty())
+            throw StmtError{stmt.line, ".align needs an alignment"};
         ExprParser ep(stmt.operands.at(0), symbols, addr, stmt.line, true);
         uint64_t align = ep.evaluate();
         if (align == 0 || (align & 3))
-            fatal("line %u: .align must be a positive multiple of 4",
-                  stmt.line);
+            throw StmtError{stmt.line,
+                            ".align must be a positive multiple of 4"};
         uint64_t next = (addr + align - 1) / align * align;
         return static_cast<size_t>((next - addr) / 4);
     }
@@ -474,26 +498,38 @@ struct Emitter
     uint16_t curRegion = 0;
     unsigned line = 0;
 
-    void word(Word w)
+    void word(Word w, WordKind kind = WordKind::code)
     {
         prog.words.push_back(w);
         prog.regionOf.push_back(curRegion);
         prog.lineOf.push_back(line);
+        prog.kindOf.push_back(kind);
     }
 
-    void inst(const Instruction &i) { word(encode(i)); }
+    void
+    inst(const Instruction &i)
+    {
+        if (!isTriadic(i.op) && !immFits(i.op, i.imm)) {
+            throw StmtError{line, strformat(
+                "immediate %d out of %s 16-bit range for '%s'", i.imm,
+                immIsSigned(i.op) ? "signed" : "unsigned",
+                opcodeName(i.op).c_str())};
+        }
+        word(encode(i));
+    }
 };
 
 unsigned
 regOperand(const Stmt &stmt, size_t idx)
 {
     if (idx >= stmt.operands.size())
-        fatal("line %u: missing register operand %zu for '%s'", stmt.line,
-              idx, stmt.mnemonic.c_str());
+        throw StmtError{stmt.line, strformat(
+            "missing register operand %zu for '%s'", idx,
+            stmt.mnemonic.c_str())};
     auto reg = parseRegName(toLower(stmt.operands[idx]));
     if (!reg)
-        fatal("line %u: bad register name '%s'", stmt.line,
-              stmt.operands[idx].c_str());
+        throw StmtError{stmt.line, strformat(
+            "bad register name '%s'", stmt.operands[idx].c_str())};
     return *reg;
 }
 
@@ -502,8 +538,8 @@ exprOperand(const Stmt &stmt, size_t idx,
             const std::map<std::string, uint64_t> &symbols, uint64_t addr)
 {
     if (idx >= stmt.operands.size())
-        fatal("line %u: missing operand %zu for '%s'", stmt.line, idx,
-              stmt.mnemonic.c_str());
+        throw StmtError{stmt.line, strformat(
+            "missing operand %zu for '%s'", idx, stmt.mnemonic.c_str())};
     ExprParser ep(stmt.operands[idx], symbols, addr, stmt.line, false);
     return ep.evaluate();
 }
@@ -521,10 +557,10 @@ parseClauses(const Stmt &stmt)
         std::string key = trim(eq == std::string::npos
                                ? clause : clause.substr(0, eq));
         if (key != "send" && key != "reply" && key != "forward")
-            fatal("line %u: unknown clause '!%s'", stmt.line,
-                  clause.c_str());
+            throw StmtError{stmt.line, strformat(
+                "unknown clause '!%s'", clause.c_str())};
         if (ni.mode != SendMode::none)
-            fatal("line %u: multiple send clauses", stmt.line);
+            throw StmtError{stmt.line, "multiple send clauses"};
         if (key == "send")
             ni.mode = SendMode::send;
         else if (key == "reply")
@@ -536,13 +572,14 @@ parseClauses(const Stmt &stmt)
             uint64_t t = 0;
             for (char c : val) {
                 if (!std::isdigit(static_cast<unsigned char>(c)))
-                    fatal("line %u: bad send type '%s'", stmt.line,
-                          val.c_str());
+                    throw StmtError{stmt.line, strformat(
+                        "bad send type '%s'", val.c_str())};
                 t = t * 10 + static_cast<uint64_t>(c - '0');
             }
             if (t > 15)
-                fatal("line %u: send type %llu exceeds 4 bits", stmt.line,
-                      static_cast<unsigned long long>(t));
+                throw StmtError{stmt.line, strformat(
+                    "send type %llu exceeds 4 bits",
+                    static_cast<unsigned long long>(t))};
             ni.type = static_cast<uint8_t>(t);
         }
     }
@@ -555,82 +592,165 @@ branchOffset(uint64_t target, uint64_t pc, unsigned line)
     int64_t delta = static_cast<int64_t>(target) -
                     static_cast<int64_t>(pc + 4);
     if (delta & 3)
-        fatal("line %u: branch target not word aligned", line);
+        throw StmtError{line, "branch target not word aligned"};
     int64_t off = delta / 4;
     if (!fitsSigned(off, 16))
-        fatal("line %u: branch target out of range", line);
+        throw StmtError{line, "branch target out of range"};
     return static_cast<int32_t>(off);
 }
 
+/** Operand text at @p idx, or a recorded error when missing. */
+const std::string &
+operandText(const Stmt &stmt, size_t idx)
+{
+    if (idx >= stmt.operands.size())
+        throw StmtError{stmt.line, strformat(
+            "missing operand %zu for '%s'", idx, stmt.mnemonic.c_str())};
+    return stmt.operands[idx];
+}
+
+void emitStmt(const Stmt &stmt, Emitter &em, Program &prog,
+              uint64_t &addr);
+
 } // namespace
 
-Program
-assemble(const std::string &source,
-         const std::map<std::string, uint64_t> &predefined)
+AsmResult
+assembleAll(const std::string &source,
+            const std::map<std::string, uint64_t> &predefined)
 {
     std::vector<Stmt> stmts = parseLines(source);
 
-    Program prog;
+    AsmResult result;
+    Program &prog = result.program;
     prog.symbols = predefined;
     prog.regionNames.push_back("");
+
+    auto record = [&](const StmtError &e) {
+        for (const AsmDiag &have : result.errors) {
+            if (have.line == e.line && have.message == e.message)
+                return;
+        }
+        result.errors.push_back({e.line, e.message});
+    };
+
+    // Statements whose size could not be determined in pass 1 occupy
+    // zero words in both passes so later addresses stay meaningful.
+    std::vector<bool> unsized(stmts.size(), false);
 
     // Pass 1: establish the base address, label addresses and .equ
     // symbols.  .equ expressions may reference earlier labels only.
     bool org_seen = false;
     uint64_t addr = 0;
-    for (const Stmt &stmt : stmts) {
-        if (!stmt.label.empty()) {
-            if (prog.symbols.count(stmt.label))
-                fatal("line %u: symbol '%s' redefined", stmt.line,
-                      stmt.label.c_str());
-            prog.symbols[stmt.label] = addr;
+    for (size_t si = 0; si < stmts.size(); ++si) {
+        const Stmt &stmt = stmts[si];
+        try {
+            if (!stmt.label.empty()) {
+                if (prog.symbols.count(stmt.label)) {
+                    record({stmt.line, strformat(
+                        "symbol '%s' redefined", stmt.label.c_str())});
+                } else {
+                    prog.symbols[stmt.label] = addr;
+                }
+            }
+            if (stmt.mnemonic == ".org") {
+                if (org_seen)
+                    throw StmtError{stmt.line, "multiple .org directives"};
+                ExprParser ep(operandText(stmt, 0), prog.symbols, addr,
+                              stmt.line, false);
+                prog.base = static_cast<Addr>(ep.evaluate());
+                if (prog.base & 3)
+                    throw StmtError{stmt.line,
+                                    ".org address must be word aligned"};
+                addr = prog.base;
+                org_seen = true;
+                // Re-bind any label that appeared on this same line.
+                if (!stmt.label.empty())
+                    prog.symbols[stmt.label] = addr;
+                continue;
+            }
+            if (stmt.mnemonic == ".equ") {
+                if (stmt.operands.size() != 2)
+                    throw StmtError{stmt.line, ".equ needs NAME, EXPR"};
+                std::string name = trim(stmt.operands[0]);
+                ExprParser ep(stmt.operands[1], prog.symbols, addr,
+                              stmt.line, true);
+                uint64_t v = ep.evaluate();
+                if (ep.sawUndefined())
+                    throw StmtError{stmt.line, strformat(
+                        ".equ '%s' references undefined symbol",
+                        name.c_str())};
+                if (prog.symbols.count(name))
+                    throw StmtError{stmt.line, strformat(
+                        "symbol '%s' redefined", name.c_str())};
+                prog.symbols[name] = v;
+                continue;
+            }
+            addr += 4 * stmtSize(stmt, prog.symbols, addr);
+        } catch (const StmtError &e) {
+            record(e);
+            unsized[si] = true;
         }
-        if (stmt.mnemonic == ".org") {
-            if (org_seen)
-                fatal("line %u: multiple .org directives", stmt.line);
-            ExprParser ep(stmt.operands.at(0), prog.symbols, addr,
-                          stmt.line, false);
-            prog.base = static_cast<Addr>(ep.evaluate());
-            if (prog.base & 3)
-                fatal("line %u: .org address must be word aligned",
-                      stmt.line);
-            addr = prog.base;
-            org_seen = true;
-            // Re-bind any label that appeared on this same line.
-            if (!stmt.label.empty())
-                prog.symbols[stmt.label] = addr;
-            continue;
-        }
-        if (stmt.mnemonic == ".equ") {
-            if (stmt.operands.size() != 2)
-                fatal("line %u: .equ needs NAME, EXPR", stmt.line);
-            std::string name = trim(stmt.operands[0]);
-            ExprParser ep(stmt.operands[1], prog.symbols, addr, stmt.line,
-                          true);
-            uint64_t v = ep.evaluate();
-            if (ep.sawUndefined())
-                fatal("line %u: .equ '%s' references undefined symbol",
-                      stmt.line, name.c_str());
-            if (prog.symbols.count(name))
-                fatal("line %u: symbol '%s' redefined", stmt.line,
-                      name.c_str());
-            prog.symbols[name] = v;
-            continue;
-        }
-        addr += 4 * stmtSize(stmt, prog.symbols, addr);
     }
 
     if (!org_seen)
         prog.base = 0;
 
-    // Pass 2: emit.
+    // Pass 2: emit.  A statement that fails mid-way is padded with
+    // zero words to the size pass 1 gave it, so every later label and
+    // diagnostic still refers to the right address.
     Emitter em{prog};
     addr = prog.base;
-    for (const Stmt &stmt : stmts) {
-        em.line = stmt.line;
-        const std::string &m = stmt.mnemonic;
-        if (m.empty() || m == ".org" || m == ".equ")
+    for (size_t si = 0; si < stmts.size(); ++si) {
+        const Stmt &stmt = stmts[si];
+        if (unsized[si])
             continue;
+        em.line = stmt.line;
+        const size_t start_words = prog.words.size();
+        size_t expect = 0;
+        try {
+            expect = stmtSize(stmt, prog.symbols, addr);
+        } catch (const StmtError &) {
+            // Recorded in pass 1.
+        }
+        try {
+            emitStmt(stmt, em, prog, addr);
+        } catch (const StmtError &e) {
+            record(e);
+            while (prog.words.size() < start_words + expect)
+                em.word(0, WordKind::pad);
+            addr = prog.base + 4 * prog.words.size();
+        }
+    }
+
+    return result;
+}
+
+Program
+assemble(const std::string &source,
+         const std::map<std::string, uint64_t> &predefined)
+{
+    AsmResult result = assembleAll(source, predefined);
+    if (!result.ok()) {
+        std::ostringstream os;
+        for (const AsmDiag &e : result.errors)
+            os << "\n  line " << e.line << ": " << e.message;
+        fatal("assembly failed with %zu error%s:%s", result.errors.size(),
+              result.errors.size() == 1 ? "" : "s", os.str().c_str());
+    }
+    return std::move(result.program);
+}
+
+namespace
+{
+
+/** Emit one non-directive pass-2 statement (may throw StmtError). */
+void
+emitStmt(const Stmt &stmt, Emitter &em, Program &prog, uint64_t &addr)
+{
+    const std::string &m = stmt.mnemonic;
+    if (m.empty() || m == ".org" || m == ".equ")
+        return;
+    {
 
         auto expr = [&](size_t idx) {
             return exprOperand(stmt, idx, prog.symbols, addr);
@@ -641,13 +761,13 @@ assemble(const std::string &source,
         NiCommand ni = parseClauses(stmt);
         auto no_ni = [&]() {
             if (ni.any())
-                fatal("line %u: '!' clauses not allowed on '%s'",
-                      stmt.line, m.c_str());
+                throw StmtError{stmt.line, strformat(
+                    "'!' clauses not allowed on '%s'", m.c_str())};
         };
 
         if (m == ".region") {
             no_ni();
-            std::string name = trim(stmt.operands.at(0));
+            std::string name = trim(operandText(stmt, 0));
             uint16_t id = 0xffff;
             for (size_t i = 0; i < prog.regionNames.size(); ++i) {
                 if (prog.regionNames[i] == name)
@@ -658,30 +778,33 @@ assemble(const std::string &source,
                 prog.regionNames.push_back(name);
             }
             em.curRegion = id;
-            continue;
+            return;
         }
         if (m == ".word") {
             no_ni();
-            em.word(static_cast<Word>(expr(0)));
+            em.word(static_cast<Word>(expr(0)), WordKind::data);
             addr += 4;
-            continue;
+            return;
         }
         if (m == ".space") {
             no_ni();
             uint64_t n = expr(0);
             for (uint64_t i = 0; i < n; ++i)
-                em.word(0);
+                em.word(0, WordKind::pad);
             addr += 4 * n;
-            continue;
+            return;
         }
         if (m == ".align") {
             no_ni();
             uint64_t align = expr(0);
+            if (align == 0 || (align & 3))
+                throw StmtError{stmt.line,
+                                ".align must be a positive multiple of 4"};
             while (addr % align != 0) {
-                em.word(0);
+                em.word(0, WordKind::pad);
                 addr += 4;
             }
-            continue;
+            return;
         }
 
         Instruction inst;
@@ -766,8 +889,8 @@ assemble(const std::string &source,
         } else if (m == "send" || m == "reply" || m == "forward") {
             // Standalone NI command: a nop carrying the command bits.
             if (inst.ni.mode != SendMode::none)
-                fatal("line %u: send clause on a send pseudo-op",
-                      stmt.line);
+                throw StmtError{stmt.line,
+                                "send clause on a send pseudo-op"};
             inst.op = Opcode::add;
             inst.ni.mode = m == "send" ? SendMode::send
                          : m == "reply" ? SendMode::reply
@@ -775,7 +898,7 @@ assemble(const std::string &source,
             if (!stmt.operands.empty()) {
                 uint64_t t = expr(0);
                 if (t > 15)
-                    fatal("line %u: send type out of range", stmt.line);
+                    throw StmtError{stmt.line, "send type out of range"};
                 inst.ni.type = static_cast<uint8_t>(t);
             }
         } else if (m == "next") {
@@ -797,20 +920,21 @@ assemble(const std::string &source,
             em.inst(hi);
             em.inst(lo);
             addr += 8;
-            continue;
+            return;
         } else if (m == "halt") {
             no_ni();
             inst.op = Opcode::halt;
         } else {
-            fatal("line %u: unknown mnemonic '%s'", stmt.line, m.c_str());
+            throw StmtError{stmt.line, strformat(
+                "unknown mnemonic '%s'", m.c_str())};
         }
 
         em.inst(inst);
         addr += 4;
     }
-
-    return prog;
 }
+
+} // namespace
 
 } // namespace isa
 } // namespace tcpni

@@ -33,7 +33,11 @@
  * Expressions support + - * / % | & ^ << >> ~ and parentheses, decimal
  * / 0x / 0b literals, symbols, `.` (current address), and hi16()/lo16().
  *
- * Errors are reported via fatal() with the source line number.
+ * Errors carry the source line number.  assembleAll() collects every
+ * error in one pass (each bad statement is skipped or padded so later
+ * diagnostics keep accurate addresses); assemble() wraps it and
+ * fatal()s with the full list, so a kernel with three typos reports
+ * all three at once.
  */
 
 #ifndef TCPNI_ISA_ASSEMBLER_HH
@@ -52,6 +56,14 @@ namespace tcpni
 namespace isa
 {
 
+/** What a program word was emitted as (for static analysis). */
+enum class WordKind : uint8_t
+{
+    code,       //!< an encoded instruction
+    data,       //!< .word literal
+    pad,        //!< .space / .align filler
+};
+
 /** An assembled program image. */
 struct Program
 {
@@ -61,6 +73,7 @@ struct Program
     std::vector<uint16_t> regionOf;     //!< per-word region id
     std::vector<std::string> regionNames;   //!< region id -> name
     std::vector<unsigned> lineOf;       //!< per-word source line
+    std::vector<WordKind> kindOf;       //!< per-word emission kind
 
     /** Address of a label; fatal() if undefined. */
     Addr addrOf(const std::string &label) const;
@@ -70,14 +83,53 @@ struct Program
 
     /** Size in bytes. */
     Addr sizeBytes() const { return static_cast<Addr>(words.size() * 4); }
+
+    /** True if @p addr falls inside the image. */
+    bool
+    contains(Addr addr) const
+    {
+        return addr >= base && addr < base + sizeBytes();
+    }
+
+    /** Word index of @p addr; the address must be inside the image. */
+    size_t
+    indexOf(Addr addr) const
+    {
+        return static_cast<size_t>((addr - base) / 4);
+    }
+};
+
+/** One assembly error, tied to its source line. */
+struct AsmDiag
+{
+    unsigned line = 0;
+    std::string message;
+};
+
+/** Program plus every error found while assembling it. */
+struct AsmResult
+{
+    Program program;
+    std::vector<AsmDiag> errors;
+
+    bool ok() const { return errors.empty(); }
 };
 
 /**
- * Assemble @p source into a Program.
+ * Assemble @p source, collecting all errors instead of stopping at
+ * the first.  The returned program is only meaningful when ok().
  *
  * @param source     assembly text
  * @param predefined extra symbols visible to the program (e.g. NI
  *                   command-address constants)
+ */
+AsmResult assembleAll(const std::string &source,
+                      const std::map<std::string, uint64_t> &predefined =
+                          {});
+
+/**
+ * Assemble @p source into a Program; fatal() listing every error if
+ * the source does not assemble cleanly.
  */
 Program assemble(const std::string &source,
                  const std::map<std::string, uint64_t> &predefined = {});

@@ -114,6 +114,72 @@ writesRd(Opcode op)
 }
 
 bool
+isLoad(Opcode op)
+{
+    return op == Opcode::ld || op == Opcode::ldi;
+}
+
+bool
+isStore(Opcode op)
+{
+    return op == Opcode::st || op == Opcode::sti;
+}
+
+bool
+isCondBranch(Opcode op)
+{
+    switch (op) {
+      case Opcode::beqz:
+      case Opcode::bnez:
+      case Opcode::bltz:
+      case Opcode::bgez:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+immFits(Opcode op, int32_t imm)
+{
+    if (isTriadic(op))
+        return true;    // no immediate field
+    if (immIsSigned(op))
+        return fitsSigned(imm, 16);
+    return fitsUnsigned(static_cast<uint32_t>(imm), 16);
+}
+
+std::vector<unsigned>
+regsRead(const Instruction &inst)
+{
+    std::vector<unsigned> regs;
+    auto add = [&](unsigned r) {
+        if (r == 0)
+            return;
+        for (unsigned have : regs) {
+            if (have == r)
+                return;
+        }
+        regs.push_back(r);
+    };
+    if (readsRs1(inst.op))
+        add(inst.rs1);
+    if (readsRs2(inst.op))
+        add(inst.rs2);
+    if (readsRdAsSource(inst.op))
+        add(inst.rd);
+    return regs;
+}
+
+std::optional<unsigned>
+regWritten(const Instruction &inst)
+{
+    if (!writesRd(inst.op) || inst.rd == 0)
+        return std::nullopt;
+    return inst.rd;
+}
+
+bool
 immIsSigned(Opcode op)
 {
     switch (op) {

@@ -42,6 +42,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/bitfield.hh"
 #include "sim/types.hh"
@@ -147,6 +148,28 @@ bool writesRd(Opcode op);
 
 /** True if the immediate is sign-extended (vs zero-extended). */
 bool immIsSigned(Opcode op);
+
+/** True for memory loads (ld/ldi) / stores (st/sti). */
+bool isLoad(Opcode op);
+bool isStore(Opcode op);
+
+/** True for the conditional branches (beqz/bnez/bltz/bgez). */
+bool isCondBranch(Opcode op);
+
+/** True if @p imm is representable in the opcode's 16-bit field. */
+bool immFits(Opcode op, int32_t imm);
+
+/**
+ * Register numbers a decoded instruction reads, r0 excluded and
+ * duplicates removed.  Includes rd when the opcode reads it as a
+ * source (stores).  Does NOT include the input registers implicitly
+ * consumed by a folded REPLY/FORWARD command; callers modelling the
+ * NI contract handle those from Instruction::ni directly.
+ */
+std::vector<unsigned> regsRead(const Instruction &inst);
+
+/** Register the instruction writes, if any (r0 sinks return nullopt). */
+std::optional<unsigned> regWritten(const Instruction &inst);
 
 /** Encode a decoded instruction into a 32-bit word.  Panics if the
  *  instruction cannot be represented (e.g. immediate out of range, or

@@ -85,6 +85,74 @@ namespace
 const char *slotAlign = "    .align HANDLER_STRIDE\n";
 
 /**
+ * The three threshold-variant dispatch banks (Section 2.2.4).  When a
+ * queue crosses its threshold the MsgIp composition sets the oafull /
+ * iafull bits, steering dispatch into the matching bank.  A real
+ * runtime would shed load here before handling the message; ours does
+ * the minimal correct thing: the type-0 slot doubles as the
+ * above-threshold poll handler (the hardware suppresses the word-1
+ * shortcut, so a valid Send dispatches here and is forwarded through
+ * word 1 by software), and every other live type defers to its base
+ * handler.  The measurement harness runs with thresholds maxed so none
+ * of this is ever executed; it exists so that the dispatch table is
+ * complete for all four variants of every live type, which the static
+ * verifier checks.
+ */
+std::string
+optVariantBanks(bool reg_mapped, bool has_escape)
+{
+    struct Target { unsigned type; const char *label; };
+    static const Target targets[] = {
+        {typeRead, "h_read"}, {typeWrite, "h_write"},
+        {typePRead, "h_pread"}, {typePWrite, "h_pwrite"},
+        {typeAck, "h_ack"}, {typeEscape, "h_escape"},
+        {typeStop, "h_stop"},
+    };
+    static const char *banks[] = {"oa", "ia", "iaoa"};
+
+    std::ostringstream os;
+    for (const char *bank : banks) {
+        os << "    ; ---- " << bank << "-full variant bank ----\n"
+           << "    .region dispatching\n"
+           << "v_" << bank << "_poll:\n";
+        if (reg_mapped) {
+            os << "    srli r5, status, ST_VALID_SHIFT\n"
+                  "    andi r5, r5, 1\n"
+                  "    beqz r5, poll\n"
+                  "    nop\n"
+                  "    jmp  i1\n"
+                  "    nop\n";
+        } else {
+            os << "    ldi  r5, r10, NI_STATUS\n"
+                  "    srli r5, r5, ST_VALID_SHIFT\n"
+                  "    andi r5, r5, 1\n"
+                  "    beqz r5, poll\n"
+                  "    nop\n"
+                  "    ldi  r15, r10, NI_I1\n"
+                  "    jmp  r15\n"
+                  "    nop\n";
+        }
+        os << slotAlign
+           << "v_" << bank << "_exc:\n"
+           << "    br   exc\n"
+           << "    nop\n" << slotAlign;
+        unsigned next_slot = 2;
+        for (const auto &t : targets) {
+            for (; next_slot < t.type; ++next_slot)
+                os << "    halt\n" << slotAlign;
+            if (t.type == typeEscape && !has_escape) {
+                os << "    halt\n" << slotAlign;
+            } else {
+                os << "    br   " << t.label << "\n"
+                   << "    nop\n" << slotAlign;
+            }
+            ++next_slot;
+        }
+    }
+    return os.str();
+}
+
+/**
  * The optimized register-mapped handler set.  Handlers live in the
  * MsgIp dispatch table; every handler ends with `jmp nextmsgip` whose
  * delay slot holds the final processing instruction (the Section-2.2.3
@@ -217,7 +285,7 @@ h_escape:
     ; slot 15: STOP -- the harness halts the server.
 h_stop:
     halt
-)" << slotAlign << R"(
+)" << slotAlign << optVariantBanks(true, true) << R"(
     ; ------ escape-dispatched handlers (identifiers >= 16) ------
     ; id 0 in the escape table: store word 2 at the address in word 1.
     .region processing
@@ -412,7 +480,7 @@ h_ack:
     os << R"(
 h_stop:
     halt
-)" << slotAlign << R"(
+)" << slotAlign << optVariantBanks(false, false) << R"(
     ; ------ type-0 (Send) inlets ------
     .region dispatching
 h_send0:
@@ -585,7 +653,7 @@ h_ack:
     os << R"(
 h_stop:
     halt
-)" << slotAlign << R"(
+)" << slotAlign << optVariantBanks(false, false) << R"(
     ; ------ type-0 (Send) inlets ------
     .region processing
 h_send0:
@@ -794,11 +862,14 @@ hb_ack:
 )" << regBasicDispTail("ack", sw_checks) << R"(
 hb_stop:
     halt
-qfull:
-    ; A queue crossed its threshold: a real runtime would shed load
-    ; here (Section 2.2.4); the measurement harness never triggers it.
-    halt
 )";
+    if (sw_checks) {
+        // A queue crossed its threshold: a real runtime would shed
+        // load here (Section 2.2.4); the measurement harness never
+        // triggers it.  Only emitted when the dispatch tails test the
+        // threshold bits, so there is no unreferenced code otherwise.
+        os << "qfull:\n    halt\n";
+    }
     return os.str();
 }
 
@@ -936,9 +1007,9 @@ hb_ack:
 )" << cacheBasicDispTail("ack", sw_checks) << R"(
 hb_stop:
     halt
-qfull:
-    halt
 )";
+    if (sw_checks)
+        os << "qfull:\n    halt\n";
     return os.str();
 }
 

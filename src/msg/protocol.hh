@@ -99,6 +99,52 @@ constexpr Addr allocPtrAddr = 0x80;
 constexpr Addr basicDispatchTable = 0x100;
 
 /**
+ * Message-length contract for one protocol type: which word indices a
+ * handler for that type is entitled (and required) to consume.  The
+ * static verifier checks handler kernels against this table; keep it
+ * in sync with the header comment above when adding types.
+ */
+struct TypeContract
+{
+    bool live = false;      //!< type the shipped kernels must handle
+    unsigned minWords = 0;  //!< shortest meaningful payload (words)
+    unsigned maxWords = 0;  //!< longest meaningful payload (words)
+};
+
+/** Contract for a 4-bit type code.  Non-protocol types are not live. */
+constexpr TypeContract
+typeContract(unsigned type)
+{
+    switch (type) {
+      case typeSend:
+        // w0 = FP, w1 = IP, w2..w3 = 0..2 data words.
+        return {true, 2, 4};
+      case typeRead:
+      case typePRead:
+        // w0 = address, w1 = reply FP, w2 = reply IP.
+        return {true, 3, 3};
+      case typeWrite:
+        // w0 = address, w1 = value.
+        return {true, 2, 2};
+      case typePWrite:
+        // w0 = address, w1 = value, w2 = ack word.
+        return {true, 3, 3};
+      case typeAck:
+        // w0 = counter address.
+        return {true, 1, 1};
+      case typeEscape:
+        // Software-dispatched: w4 is the id; all five words may carry
+        // payload.
+        return {true, 0, 5};
+      case typeStop:
+        // Pure control; no payload.
+        return {true, 0, 0};
+      default:
+        return {};
+    }
+}
+
+/**
  * Assembler symbols for the protocol constants, to be merged with
  * ni::asmSymbols() when assembling handler kernels.
  */

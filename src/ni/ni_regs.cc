@@ -40,6 +40,7 @@ asmSymbols()
 
     // STATUS register fields.
     syms["ST_MSGVALID"] = 1ull << status::msgValidBit;
+    syms["ST_VALID_SHIFT"] = status::msgValidBit;
     syms["ST_TYPE_SHIFT"] = status::msgTypeShift;
     syms["ST_IAFULL"] = 1ull << status::iafullBit;
     syms["ST_OAFULL"] = 1ull << status::oafullBit;

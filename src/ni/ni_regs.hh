@@ -64,6 +64,16 @@ constexpr unsigned iafullBit = 21;         //!< input queue over threshold
 constexpr unsigned oafullBit = 22;         //!< output queue over threshold
 constexpr unsigned excPendingBit = 23;     //!< exception pending
 constexpr unsigned excCodeShift = 24;      //!< [27:24] exception code
+
+/* The fields must tile without overlap; handler code extracts the
+ * type with a single shift-and-mask relative to msgValidBit. */
+static_assert(msgValidBit == outputLenShift + 8 &&
+              msgTypeShift == msgValidBit + 1 &&
+              iafullBit == msgTypeShift + 4 &&
+              oafullBit == iafullBit + 1 &&
+              excPendingBit == oafullBit + 1 &&
+              excCodeShift == excPendingBit + 1,
+              "STATUS fields must be adjacent and non-overlapping");
 } // namespace status
 
 /** Exception codes reported through STATUS [27:24]. */
@@ -122,6 +132,13 @@ constexpr unsigned nextBit = 12;
 constexpr unsigned scrollInBit = 13;
 constexpr unsigned scrollOutBit = 14;
 
+static_assert(typeShift == regShift + 4 &&
+              modeShift == typeShift + 4 &&
+              nextBit == modeShift + 2 &&
+              scrollInBit == nextBit + 1 &&
+              scrollOutBit == scrollInBit + 1,
+              "Figure-9 command-address fields must tile the offset");
+
 /** Base address of the cache-mapped interface window. */
 constexpr Word niAddrBase = 0xffff0000u;
 
@@ -174,6 +191,30 @@ handlerAddr(Word ip_base, unsigned type, bool iafull = false,
 
 /** The exception handler's reserved type. */
 constexpr unsigned excType = 1;
+
+/*
+ * The MsgIp composition only works if the three inserted fields tile
+ * the 13 bits below the IpBase window without overlapping each other
+ * or the window.  Everything downstream (the 128-byte handler slots,
+ * the four threshold variants, the 8 KB table size, the verifier's
+ * slot enumeration) is derived from these relationships, so pin them
+ * down at compile time.
+ */
+static_assert(typeShift == handlerShift,
+              "type index must start at the handler-slot stride");
+static_assert(oafullShift == typeShift + 4,
+              "oafull must sit directly above the 4-bit type field");
+static_assert(iafullShift == oafullShift + 1,
+              "iafull must sit directly above oafull");
+static_assert(tableMask == static_cast<Word>(~mask(iafullShift + 1)),
+              "IpBase window must start directly above iafull");
+static_assert((handlerAddr(0, 0xf, true, true) & tableMask) == 0,
+              "type/iafull/oafull fields must not reach the IpBase "
+              "window");
+static_assert(handlerAddr(tableMask, 0xf, true, true) ==
+                  (tableMask | (0xfu << typeShift) |
+                   (1u << iafullShift) | (1u << oafullShift)),
+              "the four MsgIp fields must be disjoint");
 } // namespace dispatch
 
 /**

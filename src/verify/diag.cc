@@ -1,0 +1,86 @@
+#include "verify/diag.hh"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+namespace tcpni
+{
+namespace verify
+{
+
+std::string
+severityName(Severity s)
+{
+    switch (s) {
+      case Severity::error: return "error";
+      case Severity::warning: return "warning";
+      case Severity::note: return "note";
+    }
+    return "?";
+}
+
+std::string
+Diag::format() const
+{
+    std::ostringstream os;
+    os << severityName(severity) << '[' << check << "] 0x" << std::hex
+       << addr << std::dec;
+    if (line || !where.empty()) {
+        os << " (";
+        if (line)
+            os << "line " << line;
+        if (!where.empty())
+            os << (line ? ", " : "") << where;
+        os << ')';
+    }
+    os << ": " << message;
+    return os.str();
+}
+
+unsigned
+Report::count(Severity s) const
+{
+    unsigned n = 0;
+    for (const Diag &d : diags) {
+        if (d.severity == s)
+            ++n;
+    }
+    return n;
+}
+
+void
+Report::dedupe()
+{
+    std::stable_sort(diags.begin(), diags.end(),
+                     [](const Diag &a, const Diag &b) {
+                         return std::tie(a.addr, a.check, a.message) <
+                                std::tie(b.addr, b.check, b.message);
+                     });
+    std::set<std::tuple<std::string, Addr, std::string>> seen;
+    std::vector<Diag> kept;
+    for (Diag &d : diags) {
+        if (seen.insert({d.check, d.addr, d.message}).second)
+            kept.push_back(std::move(d));
+    }
+    diags = std::move(kept);
+}
+
+void
+Report::merge(const Report &other)
+{
+    diags.insert(diags.end(), other.diags.begin(), other.diags.end());
+}
+
+std::string
+Report::format() const
+{
+    std::ostringstream os;
+    for (const Diag &d : diags)
+        os << d.format() << '\n';
+    return os.str();
+}
+
+} // namespace verify
+} // namespace tcpni

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Diagnostics produced by the static kernel verifier.
+ *
+ * Every finding carries the check that produced it, the program
+ * address and source line it refers to, and the handler (verification
+ * root) under which it was discovered, so `tcpni_lint` output can be
+ * traced straight back to the kernel assembly.
+ */
+
+#ifndef TCPNI_VERIFY_DIAG_HH
+#define TCPNI_VERIFY_DIAG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace tcpni
+{
+namespace verify
+{
+
+/**
+ * Finding severities.  Errors are contract violations; warnings are
+ * suspicious but not provably wrong (promoted to failures under
+ * --Werror); notes are informational (e.g. load-use stall estimates)
+ * and never fail a run.
+ */
+enum class Severity : uint8_t
+{
+    error,
+    warning,
+    note,
+};
+
+std::string severityName(Severity s);
+
+/** One finding. */
+struct Diag
+{
+    Severity severity = Severity::error;
+    std::string check;      //!< "def-use", "consume", "send", "dispatch",
+                            //!< "hazard", "structure", "region"
+    Addr addr = 0;          //!< program address the finding refers to
+    unsigned line = 0;      //!< kernel source line (0 if none)
+    std::string where;      //!< verification root (handler) name
+    std::string message;
+
+    /** "error[def-use] 0x4080 (line 12, h_read): ..." */
+    std::string format() const;
+};
+
+/** The verifier's output for one program. */
+struct Report
+{
+    std::vector<Diag> diags;
+
+    void
+    add(Severity sev, const std::string &check, Addr addr, unsigned line,
+        const std::string &where, const std::string &message)
+    {
+        diags.push_back({sev, check, addr, line, where, message});
+    }
+
+    unsigned count(Severity s) const;
+
+    /** No errors; with @p werror, no warnings either. */
+    bool
+    clean(bool werror) const
+    {
+        return count(Severity::error) == 0 &&
+               (!werror || count(Severity::warning) == 0);
+    }
+
+    /** Drop duplicate findings (same check, address and message seen
+     *  under several verification roots) and sort by address. */
+    void dedupe();
+
+    /** Append another report's findings. */
+    void merge(const Report &other);
+
+    /** All findings, one per line. */
+    std::string format() const;
+};
+
+} // namespace verify
+} // namespace tcpni
+
+#endif // TCPNI_VERIFY_DIAG_HH

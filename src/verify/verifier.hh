@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Static analysis of assembled kernels against the NI register
+ * contract.
+ *
+ * The verifier runs a forward dataflow analysis from every root of the
+ * derived Contract (see contract.hh).  Branch instructions are
+ * processed together with their delay slot, so a handler's final
+ * "jmp nextmsgip / <processing instruction with folded NEXT>" overlap
+ * (Section 2.2.3 of the paper) is modelled exactly.  The analysis
+ * tracks, per program point:
+ *
+ *  - which general registers must / may have been written (def-before-
+ *    use; reads through the register-mapped NI aliases never count as
+ *    undefined -- they are interface registers, not GPRs);
+ *  - which output registers o0..o4 must / may hold a value, and the
+ *    constant stored to o4 (the basic models' message id);
+ *  - whether NEXT must / may have been issued;
+ *  - an abstract value per register (constant, MsgIp/NextMsgIp load,
+ *    input-register load, software-dispatch-table load), which is how
+ *    the verifier classifies the indirect jump that ends a handler.
+ *
+ * Checks:
+ *
+ *   def-use    read of a possibly-undefined general register
+ *   consume    handler for an n-word type reads exactly words
+ *              0..n-1 (dispatch-consumed words included), never past
+ *              the type's maximum length, and issues NEXT before
+ *              dispatching to the next message
+ *   send       a SEND commands a contiguous run of defined output
+ *              words whose length matches the sent type's contract;
+ *              REPLY / FORWARD never overwrite the substituted
+ *              registers; basic-model sends define the o4 id word
+ *   dispatch   indirect-jump targets derive from a dispatch source
+ *              (MsgIp / NextMsgIp / word 1 / a software table)
+ *   structure  fall-through off a handler / into data, branches that
+ *              leave the image, unreachable code
+ *   region     reachable code missing a .region cost tag
+ *   hazard     (notes) statically-estimated load-use stalls under the
+ *              model's interface placement (2 cycles off-chip)
+ */
+
+#ifndef TCPNI_VERIFY_VERIFIER_HH
+#define TCPNI_VERIFY_VERIFIER_HH
+
+#include "verify/contract.hh"
+#include "verify/diag.hh"
+
+namespace tcpni
+{
+namespace verify
+{
+
+struct VerifyOptions
+{
+    bool hazardNotes = true;    //!< emit load-use stall notes
+};
+
+/** Verify @p prog against an already-derived @p contract. */
+Report verify(const isa::Program &prog, const ni::Model &model,
+              const Contract &contract, const VerifyOptions &opts = {});
+
+/** Derive the handler contract for @p model and verify. */
+Report verifyHandlers(const isa::Program &prog, const ni::Model &model,
+                      const VerifyOptions &opts = {});
+
+/** Derive the sender contract and verify. */
+Report verifySender(const isa::Program &prog, const ni::Model &model,
+                    const VerifyOptions &opts = {});
+
+} // namespace verify
+} // namespace tcpni
+
+#endif // TCPNI_VERIFY_VERIFIER_HH

@@ -321,3 +321,60 @@ TEST(Assembler, AddrOfUndefinedFails)
     Program p = assemble("nop\n");
     EXPECT_THROW(p.addrOf("missing"), SimError);
 }
+
+// ---------------------------------------------------------------------
+// assembleAll: every error in one pass, each tied to its source line.
+// ---------------------------------------------------------------------
+
+TEST(AssembleAll, CleanSourceHasNoErrors)
+{
+    AsmResult res = assembleAll("start:\n    nop\n    halt\n");
+    EXPECT_TRUE(res.ok());
+    EXPECT_EQ(res.program.words.size(), 2u);
+}
+
+TEST(AssembleAll, CollectsEveryErrorWithLineNumbers)
+{
+    AsmResult res = assembleAll(
+        "    frobnicate r1\n"        // line 1: unknown mnemonic
+        "    nop\n"
+        "    add r1, r2, r99\n"      // line 3: bad register
+        "    nop\n"
+        "    br nowhere\n"           // line 5: undefined symbol
+        "    nop\n");
+    ASSERT_EQ(res.errors.size(), 3u);
+    EXPECT_EQ(res.errors[0].line, 1u);
+    EXPECT_EQ(res.errors[1].line, 3u);
+    EXPECT_EQ(res.errors[2].line, 5u);
+}
+
+TEST(AssembleAll, OutOfRangeImmediate)
+{
+    AsmResult res = assembleAll("    addi r1, r0, 99999\n");
+    ASSERT_EQ(res.errors.size(), 1u);
+    EXPECT_EQ(res.errors[0].line, 1u);
+}
+
+TEST(AssembleAll, BadAlignDirective)
+{
+    AsmResult res = assembleAll("    .align 3\n    nop\n");
+    ASSERT_EQ(res.errors.size(), 1u);
+    EXPECT_NE(res.errors[0].message.find(".align"), std::string::npos);
+}
+
+TEST(AssembleAll, RedefinedLabel)
+{
+    AsmResult res = assembleAll("x:\n    nop\nx:\n    nop\n");
+    ASSERT_FALSE(res.ok());
+    EXPECT_NE(res.errors[0].message.find("x"), std::string::npos);
+}
+
+TEST(AssembleAll, ErrorsDoNotStopTheScan)
+{
+    // An early error must not hide a late one.
+    AsmResult res = assembleAll(
+        "    add r1, r2\n"                   // line 1: missing operand
+        "    add r1, r2, r3 !bogus\n"        // line 2: bad NI suffix
+        "    .word 1 +\n");                  // line 3: bad expression
+    EXPECT_EQ(res.errors.size(), 3u);
+}

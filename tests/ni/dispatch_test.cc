@@ -208,3 +208,50 @@ INSTANTIATE_TEST_SUITE_P(
                       DispatchCase{3, true, false},
                       DispatchCase{15, true, true},
                       DispatchCase{8, false, false}));
+
+// Exhaustive variant addressing: the 64 (type, iafull, oafull) slots
+// must be distinct, 128-byte aligned, and confined to the 8 KB window
+// above IpBase; low IpBase bits must not leak into the slot address.
+TEST(DispatchMatrixFull, AllSixtyFourSlotsDistinctAndInWindow)
+{
+    const Word ip_base = 0x4000;
+    std::set<Word> slots;
+    for (unsigned type = 0; type < 16; ++type) {
+        for (unsigned variant = 0; variant < 4; ++variant) {
+            bool ia = variant & 2;
+            bool oa = variant & 1;
+            Word addr = dispatch::handlerAddr(ip_base, type, ia, oa);
+            EXPECT_EQ(addr % (1u << dispatch::handlerShift), 0u);
+            EXPECT_GE(addr, ip_base);
+            EXPECT_LT(addr, ip_base + 0x2000u);
+            slots.insert(addr);
+        }
+    }
+    EXPECT_EQ(slots.size(), 64u);
+}
+
+TEST(DispatchMatrixFull, IpBaseLowBitsIgnored)
+{
+    // A misaligned IpBase must dispatch as if aligned: only the bits
+    // above the 8 KB table window participate (Figure 7).
+    EXPECT_EQ(dispatch::handlerAddr(0x4abc, 7, true, false),
+              dispatch::handlerAddr(0x4000, 7, true, false));
+    EXPECT_EQ(dispatch::handlerAddr(0x6000, 7, true, false),
+              dispatch::handlerAddr(0x6000 & dispatch::tableMask, 7,
+                                    true, false));
+}
+
+TEST(DispatchMatrixFull, VariantBitsSelectThresholdBanks)
+{
+    // The four variants of one type sit exactly one oafull / iafull
+    // bit apart: 2 KB and 4 KB above the base slot.
+    const Word ip_base = 0x4000;
+    Word base = dispatch::handlerAddr(ip_base, 3, false, false);
+    EXPECT_EQ(dispatch::handlerAddr(ip_base, 3, false, true),
+              base + (1u << dispatch::oafullShift));
+    EXPECT_EQ(dispatch::handlerAddr(ip_base, 3, true, false),
+              base + (1u << dispatch::iafullShift));
+    EXPECT_EQ(dispatch::handlerAddr(ip_base, 3, true, true),
+              base + (1u << dispatch::iafullShift) +
+                  (1u << dispatch::oafullShift));
+}

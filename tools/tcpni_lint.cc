@@ -1,0 +1,171 @@
+/**
+ * @file
+ * tcpni_lint: statically verify the shipped handler and sender kernels
+ * against the NI register contract, under every interface model.
+ *
+ * Exit status is 0 when every linted kernel is clean (no errors; no
+ * warnings either under --Werror), 1 otherwise.  Hazard notes are
+ * informational and never affect the exit status.
+ *
+ *   tcpni_lint [--Werror] [--model NAME] [--notes] [--list] [-v]
+ *
+ *   --Werror      treat warnings as failures
+ *   --model NAME  lint a single model (short name, e.g. "reg-opt")
+ *   --notes       print load-use hazard notes (hidden by default)
+ *   --list        list the kernels that would be linted, then exit
+ *   -v            print a line per kernel even when clean
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "msg/kernels.hh"
+#include "ni/config.hh"
+#include "verify/verifier.hh"
+
+using namespace tcpni;
+
+namespace
+{
+
+struct Job
+{
+    std::string name;
+    ni::Model model;
+    std::string source;
+    bool sender = false;
+};
+
+std::vector<Job>
+jobsFor(const ni::Model &model)
+{
+    std::vector<Job> jobs;
+    std::string mname = model.shortName();
+
+    if (model.optimized) {
+        jobs.push_back({mname + "/handlers", model,
+                        msg::handlerProgram(model), false});
+        if (model.placement != ni::Placement::registerFile) {
+            jobs.push_back({mname + "/handlers-no-overlap", model,
+                            msg::handlerProgram(model, false, true),
+                            false});
+        }
+    } else {
+        jobs.push_back({mname + "/handlers", model,
+                        msg::handlerProgram(model, false), false});
+        jobs.push_back({mname + "/handlers-sw-checks", model,
+                        msg::handlerProgram(model, true), false});
+    }
+
+    static const msg::Kind kinds[] = {
+        msg::Kind::send0, msg::Kind::send1, msg::Kind::send2,
+        msg::Kind::read, msg::Kind::write, msg::Kind::pread,
+        msg::Kind::pwrite,
+    };
+    for (msg::Kind k : kinds) {
+        jobs.push_back({mname + "/send-" + msg::kindName(k), model,
+                        msg::senderProgram(model, k, 4), true});
+    }
+    return jobs;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool werror = false;
+    bool notes = false;
+    bool list = false;
+    bool verbose = false;
+    std::string only_model;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--Werror") {
+            werror = true;
+        } else if (arg == "--notes") {
+            notes = true;
+        } else if (arg == "--list") {
+            list = true;
+        } else if (arg == "-v" || arg == "--verbose") {
+            verbose = true;
+        } else if (arg == "--model" && i + 1 < argc) {
+            only_model = argv[++i];
+        } else if (arg == "-h" || arg == "--help") {
+            std::cout << "usage: tcpni_lint [--Werror] [--model NAME] "
+                         "[--notes] [--list] [-v]\n";
+            return 0;
+        } else {
+            std::cerr << "tcpni_lint: unknown option '" << arg << "'\n";
+            return 2;
+        }
+    }
+
+    std::vector<Job> jobs;
+    bool model_found = false;
+    for (const ni::Model &model : ni::allModels()) {
+        if (!only_model.empty() && model.shortName() != only_model)
+            continue;
+        model_found = true;
+        for (Job &j : jobsFor(model))
+            jobs.push_back(std::move(j));
+    }
+    if (!model_found) {
+        std::cerr << "tcpni_lint: no model named '" << only_model
+                  << "'\n";
+        return 2;
+    }
+
+    if (list) {
+        for (const Job &j : jobs)
+            std::cout << j.name << "\n";
+        return 0;
+    }
+
+    unsigned failures = 0;
+    unsigned errors = 0, warnings = 0, note_count = 0;
+    for (const Job &j : jobs) {
+        isa::AsmResult res =
+            isa::assembleAll(j.source, msg::kernelSymbols());
+        if (!res.ok()) {
+            std::cout << j.name << ": FAILED (does not assemble)\n";
+            for (const isa::AsmDiag &d : res.errors)
+                std::cout << "  line " << d.line << ": " << d.message
+                          << "\n";
+            ++failures;
+            continue;
+        }
+
+        verify::Report rep =
+            j.sender ? verify::verifySender(res.program, j.model)
+                     : verify::verifyHandlers(res.program, j.model);
+        errors += rep.count(verify::Severity::error);
+        warnings += rep.count(verify::Severity::warning);
+        note_count += rep.count(verify::Severity::note);
+
+        bool clean = rep.clean(werror);
+        if (!clean)
+            ++failures;
+        if (!clean || verbose) {
+            std::cout << j.name << ": "
+                      << (clean ? "ok" : "FAILED") << "\n";
+        }
+        for (const verify::Diag &d : rep.diags) {
+            if (d.severity == verify::Severity::note && !notes)
+                continue;
+            std::cout << "  " << d.format() << "\n";
+        }
+    }
+
+    std::cout << jobs.size() << " kernels linted: " << errors
+              << " error(s), " << warnings << " warning(s), "
+              << note_count << " note(s)";
+    if (werror)
+        std::cout << " [--Werror]";
+    std::cout << (failures ? " -- FAILED\n" : " -- clean\n");
+    return failures ? 1 : 0;
+}
