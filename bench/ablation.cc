@@ -20,16 +20,20 @@
  * rows into the measured basic model, so every number traces back to
  * an executed kernel.
  *
- * Flags:  --n N   matrix dimension (default 100)
+ * Flags:  --n N      matrix dimension (default 100)
+ *         --jobs N   run the kernel measurements and the workload on
+ *                    N worker threads (default: hardware concurrency)
  */
 
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <vector>
 
 #include "apps/matmul.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "sim/sweep.hh"
 #include "tam/expand.hh"
 
 using namespace tcpni;
@@ -81,9 +85,12 @@ int
 main(int argc, char **argv)
 {
     unsigned n = 100;
+    unsigned jobs = 0;      // 0: hardware concurrency
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--n") && i + 1 < argc)
             n = static_cast<unsigned>(std::atoi(argv[++i]));
+        else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc)
+            jobs = static_cast<unsigned>(std::atoi(argv[++i]));
     }
 
     logging::quiet = true;
@@ -91,19 +98,37 @@ main(int argc, char **argv)
     std::cout << "Optimization ablation on " << n << "x" << n
               << " Matrix Multiply (cycles; lower is better)\n";
 
-    std::fprintf(stderr, "running matrix multiply...\n");
-    apps::MatMulResult mm = apps::runMatMul(n, 4);
+    // Seven independent simulations: the workload run plus a basic
+    // and an optimized kernel measurement per placement.  Fan them
+    // out; results land in fixed slots, so the report is identical
+    // whatever the thread count.
+    static const ni::Placement places[] = {
+        ni::Placement::registerFile, ni::Placement::onChipCache,
+        ni::Placement::offChipCache};
+    apps::MatMulResult mm;
+    std::vector<tam::CommCosts> basics(3), opts(3);
+    SweepRunner sweep(jobs);
+    sweep.run(7, [&](size_t i) {
+        if (i == 0) {
+            std::fprintf(stderr, "running matrix multiply...\n");
+            mm = apps::runMatMul(n, 4);
+            return;
+        }
+        size_t p = (i - 1) / 2;
+        bool optimized = (i - 1) % 2 != 0;
+        std::fprintf(stderr, "measuring %s %s kernels...\n",
+                     ni::placementName(places[p]).c_str(),
+                     optimized ? "optimized" : "basic");
+        (optimized ? opts : basics)[p] =
+            tam::measureCommCosts(ni::Model{places[p], optimized});
+    });
     if (!mm.verified)
         fatal("matrix multiply failed verification");
 
-    for (ni::Placement p :
-         {ni::Placement::registerFile, ni::Placement::onChipCache,
-          ni::Placement::offChipCache}) {
-        std::fprintf(stderr, "measuring %s kernels...\n",
-                     ni::placementName(p).c_str());
-        tam::CommCosts basic =
-            tam::measureCommCosts(ni::Model{p, false});
-        tam::CommCosts opt = tam::measureCommCosts(ni::Model{p, true});
+    for (size_t pi = 0; pi < 3; ++pi) {
+        ni::Placement p = places[pi];
+        const tam::CommCosts &basic = basics[pi];
+        const tam::CommCosts &opt = opts[pi];
 
         struct Step
         {

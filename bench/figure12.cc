@@ -20,6 +20,10 @@
  *   --offchip-delay D   off-chip load-use delay (default 2)
  *   --json FILE    write the measured costs and bars as JSON
  *   --trace FILE   write a Chrome trace of the kernel messages
+ *                  (forces --jobs 1: the trace sink is thread-local)
+ *   --jobs N       run the six model measurements and the two TAM
+ *                  programs on N worker threads (default: hardware
+ *                  concurrency)
  */
 
 #include <cmath>
@@ -35,6 +39,7 @@
 #include "common/stats.hh"
 #include "common/table.hh"
 #include "common/trace.hh"
+#include "sim/sweep.hh"
 #include "tam/expand.hh"
 
 using namespace tcpni;
@@ -223,6 +228,7 @@ main(int argc, char **argv)
 {
     unsigned n = 100, particles = 16;
     Cycles offchip = 2;
+    unsigned jobs = 0;      // 0: hardware concurrency
     std::string json_file, trace_file;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--n") && i + 1 < argc)
@@ -235,11 +241,17 @@ main(int argc, char **argv)
             json_file = argv[++i];
         else if (!std::strcmp(argv[i], "--trace") && i + 1 < argc)
             trace_file = argv[++i];
+        else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc)
+            jobs = static_cast<unsigned>(std::atoi(argv[++i]));
     }
 
     trace::TraceSink lifecycle_sink;
-    if (!trace_file.empty())
+    if (!trace_file.empty()) {
+        // The lifecycle sink is thread-local: tracing needs every
+        // simulation on this thread.
         trace::setSink(&lifecycle_sink);
+        jobs = 1;
+    }
 
     logging::quiet = true;
 
@@ -248,21 +260,31 @@ main(int argc, char **argv)
               << " Gamteb\nunder the six interface models (message "
                  "costs measured from the Table-1 kernels).\n";
 
-    // Measure the six models' message costs once.
-    std::vector<tam::CommCosts> costs;
-    for (const ni::Model &m : ni::allModels())
-        costs.push_back(tam::measureCommCosts(m, offchip));
-
-    // Run the TAM programs once each (the TAM run is model-
-    // independent, exactly as in the paper's methodology).
-    std::fprintf(stderr, "running matrix multiply (%ux%u)...\n", n, n);
-    apps::MatMulResult mm = apps::runMatMul(n, 4);
+    // Eight independent simulations: the six models' message-cost
+    // measurements plus the two TAM program runs (model-independent,
+    // exactly as in the paper's methodology).  Fan them out across
+    // the sweep pool; every result lands in its own slot, so the
+    // output is identical whatever the thread count.
+    auto models = ni::allModels();
+    std::vector<tam::CommCosts> costs(models.size());
+    apps::MatMulResult mm;
+    apps::GamtebResult gt;
+    SweepRunner sweep(jobs);
+    sweep.run(models.size() + 2, [&](size_t i) {
+        if (i < models.size()) {
+            costs[i] = tam::measureCommCosts(models[i], offchip);
+        } else if (i == models.size()) {
+            std::fprintf(stderr, "running matrix multiply (%ux%u)...\n",
+                         n, n);
+            mm = apps::runMatMul(n, 4);
+        } else {
+            std::fprintf(stderr, "running gamteb (%u particles)...\n",
+                         particles);
+            gt = apps::runGamteb(particles);
+        }
+    });
     if (!mm.verified)
         fatal("matrix multiply failed verification");
-
-    std::fprintf(stderr, "running gamteb (%u particles)...\n",
-                 particles);
-    apps::GamtebResult gt = apps::runGamteb(particles);
     if (!gt.conserved())
         fatal("gamteb particle accounting failed");
 

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Host-side performance of the simulator itself (not of the modeled
+ * machine): wall-time for the Table-1 model sweep run serially vs on
+ * the SweepRunner thread pool, and raw event-kernel throughput
+ * (events/second) for the calendar queue vs the reference binary
+ * heap.  Results go to stdout and to a JSON file for CI tracking.
+ *
+ * Flags:
+ *   --jobs N     parallel sweep width (default: hardware concurrency)
+ *   --events N   events per kernel-throughput measurement
+ *                (default 1000000)
+ *   --out FILE   JSON output file (default BENCH_host.json)
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "sim/event_queue.hh"
+#include "sim/sweep.hh"
+#include "tam/expand.hh"
+
+using namespace tcpni;
+
+namespace
+{
+
+double
+seconds(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** Wall-time of the full six-model Table-1 kernel sweep. */
+double
+timeModelSweep(unsigned jobs)
+{
+    auto models = ni::allModels();
+    auto t0 = std::chrono::steady_clock::now();
+    SweepRunner(jobs).run(models.size(), [&](size_t i) {
+        tam::measureCommCosts(models[i], 2);
+    });
+    return seconds(t0);
+}
+
+/** A self-rescheduling event with a cheap deterministic PRNG choosing
+ *  the next delta: mostly short hops inside the calendar ring, with
+ *  an occasional far-future jump into the overflow heap. */
+class ChurnEvent : public Event
+{
+  public:
+    ChurnEvent(EventQueue &eq, uint64_t seed, uint64_t budget)
+        : eq_(eq), state_(seed), left_(budget)
+    {}
+
+    void
+    process() override
+    {
+        if (--left_ == 0)
+            return;
+        state_ = state_ * 6364136223846793005ULL +
+                 1442695040888963407ULL;
+        uint32_t r = static_cast<uint32_t>(state_ >> 56);
+        Tick delta = (r & 0xf0) == 0xf0 ? 2000 + (r & 0xf)
+                                        : 1 + (r & 0x7);
+        eq_.schedule(this, eq_.curTick() + delta);
+    }
+
+    std::string name() const override { return "churn"; }
+
+  private:
+    EventQueue &eq_;
+    uint64_t state_;
+    uint64_t left_;
+};
+
+/** Events/second for one kernel implementation at a given pending-
+ *  event population (the heap's cost grows with the population; the
+ *  calendar ring's does not). */
+double
+timeEventKernel(EventQueue::Impl impl, uint64_t total_events,
+                unsigned population)
+{
+    EventQueue eq(impl);
+    std::vector<std::unique_ptr<ChurnEvent>> events;
+    for (unsigned i = 0; i < population; ++i) {
+        events.push_back(std::make_unique<ChurnEvent>(
+            eq, 0x9e3779b97f4a7c15ULL * (i + 1),
+            total_events / population));
+        eq.schedule(events.back().get(), i % 8);
+    }
+    auto t0 = std::chrono::steady_clock::now();
+    eq.run();
+    double sec = seconds(t0);
+    return static_cast<double>(eq.numProcessed()) / sec;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned jobs = 0;      // 0: hardware concurrency
+    uint64_t events = 1000000;
+    std::string out_file = "BENCH_host.json";
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc)
+            jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+        else if (!std::strcmp(argv[i], "--events") && i + 1 < argc)
+            events = static_cast<uint64_t>(std::atoll(argv[++i]));
+        else if (!std::strcmp(argv[i], "--out") && i + 1 < argc)
+            out_file = argv[++i];
+    }
+    if (jobs == 0)
+        jobs = SweepRunner::defaultJobs();
+
+    logging::quiet = true;
+
+    std::cout << "Host performance (simulator wall-time; "
+              << SweepRunner::defaultJobs()
+              << " hardware threads)\n\n";
+
+    // Warm up allocators and code paths, then measure.
+    timeModelSweep(1);
+    double serial = timeModelSweep(1);
+    double parallel = timeModelSweep(jobs);
+    double speedup = serial / parallel;
+    std::printf("Table-1 model sweep: serial %.3fs, --jobs %u %.3fs "
+                "(%.2fx speedup)\n",
+                serial, jobs, parallel, speedup);
+
+    // The population sweep shows where the calendar ring pays off:
+    // the heap's per-event cost grows with the pending-event count,
+    // the ring's does not.
+    static const unsigned pops[] = {64, 512, 4096};
+    double cal[3], heap[3];
+    timeEventKernel(EventQueue::Impl::calendar, events / 10, 64);
+    for (size_t i = 0; i < 3; ++i) {
+        cal[i] = timeEventKernel(EventQueue::Impl::calendar, events,
+                                 pops[i]);
+        heap[i] = timeEventKernel(EventQueue::Impl::binaryHeap,
+                                  events, pops[i]);
+        std::printf("Event kernel (%llu events, %u pending): calendar "
+                    "%.2fM ev/s, binary heap %.2fM ev/s (%.2fx)\n",
+                    static_cast<unsigned long long>(events), pops[i],
+                    cal[i] / 1e6, heap[i] / 1e6, cal[i] / heap[i]);
+    }
+
+    std::ofstream os(out_file);
+    if (!os)
+        fatal("cannot open --out file '%s'", out_file.c_str());
+    os << "{\"host\":{\"hardwareConcurrency\":"
+       << SweepRunner::defaultJobs() << "},\n"
+       << "\"table1Sweep\":{\"jobs\":" << jobs << ",\"serialSec\":"
+       << serial << ",\"parallelSec\":" << parallel << ",\"speedup\":"
+       << speedup << "},\n"
+       << "\"eventKernel\":{\"events\":" << events
+       << ",\"populations\":[";
+    for (size_t i = 0; i < 3; ++i) {
+        os << (i ? ",\n" : "\n") << "{\"pending\":" << pops[i]
+           << ",\"calendarEventsPerSec\":" << cal[i]
+           << ",\"heapEventsPerSec\":" << heap[i]
+           << ",\"calendarVsHeap\":" << cal[i] / heap[i] << "}";
+    }
+    os << "]}}\n";
+    std::cout << "wrote " << out_file << "\n";
+    return 0;
+}

@@ -14,16 +14,20 @@
  * communication growth against the latency-immune register-mapped
  * model.
  *
- * Flags:  --n N   matrix dimension (default 100)
+ * Flags:  --n N      matrix dimension (default 100)
+ *         --jobs N   run the kernel measurements and the workload on
+ *                    N worker threads (default: hardware concurrency)
  */
 
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <vector>
 
 #include "apps/matmul.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "sim/sweep.hh"
 #include "tam/expand.hh"
 
 using namespace tcpni;
@@ -32,9 +36,12 @@ int
 main(int argc, char **argv)
 {
     unsigned n = 100;
+    unsigned jobs = 0;      // 0: hardware concurrency
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--n") && i + 1 < argc)
             n = static_cast<unsigned>(std::atoi(argv[++i]));
+        else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc)
+            jobs = static_cast<unsigned>(std::atoi(argv[++i]));
     }
 
     logging::quiet = true;
@@ -42,14 +49,36 @@ main(int argc, char **argv)
     std::cout << "Off-chip read-latency sensitivity (Section 4.2.3), "
               << n << "x" << n << " Matrix Multiply\n";
 
-    std::fprintf(stderr, "running matrix multiply...\n");
-    apps::MatMulResult mm = apps::runMatMul(n, 4);
-    if (!mm.verified)
-        fatal("matrix multiply failed verification");
-
     const ni::Model off_opt{ni::Placement::offChipCache, true};
     const ni::Model off_basic{ni::Placement::offChipCache, false};
     const ni::Model reg_opt{ni::Placement::registerFile, true};
+    static const Cycles delays[] = {2, 4, 6, 8};
+    static const ni::Model sweep_models[] = {off_opt, off_basic,
+                                             reg_opt};
+
+    // Thirteen independent simulations: the workload run plus three
+    // model measurements at each of the four delay points.  Fan them
+    // out; results land in fixed (delay, model) slots, so the table
+    // is identical whatever the thread count.
+    apps::MatMulResult mm;
+    std::vector<tam::CommCosts> costs(12);
+    SweepRunner sweep(jobs);
+    sweep.run(13, [&](size_t i) {
+        if (i == 0) {
+            std::fprintf(stderr, "running matrix multiply...\n");
+            mm = apps::runMatMul(n, 4);
+            return;
+        }
+        size_t di = (i - 1) / 3, si = (i - 1) % 3;
+        if (si == 0) {
+            std::fprintf(stderr, "  measuring kernels at delay %u...\n",
+                         static_cast<unsigned>(delays[di]));
+        }
+        costs[i - 1] =
+            tam::measureCommCosts(sweep_models[si], delays[di]);
+    });
+    if (!mm.verified)
+        fatal("matrix multiply failed verification");
 
     double base_comm_off = 0;
 
@@ -57,15 +86,12 @@ main(int argc, char **argv)
     t.header({"Off-chip delay", "Off-chip opt comm", "vs 2-cycle",
               "Off-chip opt total", "Off-chip basic total",
               "Register opt total"});
-    for (Cycles d : {2u, 4u, 6u, 8u}) {
-        std::fprintf(stderr, "  measuring kernels at delay %u...\n",
-                     static_cast<unsigned>(d));
-        tam::Figure12Bar off =
-            tam::expand(mm.stats, tam::measureCommCosts(off_opt, d));
+    for (size_t di = 0; di < 4; ++di) {
+        Cycles d = delays[di];
+        tam::Figure12Bar off = tam::expand(mm.stats, costs[di * 3]);
         tam::Figure12Bar offb =
-            tam::expand(mm.stats, tam::measureCommCosts(off_basic, d));
-        tam::Figure12Bar reg =
-            tam::expand(mm.stats, tam::measureCommCosts(reg_opt, d));
+            tam::expand(mm.stats, costs[di * 3 + 1]);
+        tam::Figure12Bar reg = tam::expand(mm.stats, costs[di * 3 + 2]);
 
         double comm = off.dispatch + off.otherComm;
         if (d == 2)

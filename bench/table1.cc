@@ -15,6 +15,10 @@
  *   --no-overlap        dispatch without the NextMsgIp overlap
  *   --json FILE         write measured + paper cells as JSON
  *   --trace FILE        write a Chrome trace of the kernel messages
+ *                       (forces --jobs 1: the trace sink is
+ *                       thread-local)
+ *   --jobs N            measure the six models on N worker threads
+ *                       (default: hardware concurrency)
  */
 
 #include <cmath>
@@ -31,6 +35,7 @@
 #include "common/table.hh"
 #include "common/trace.hh"
 #include "cost/table1.hh"
+#include "sim/sweep.hh"
 
 using namespace tcpni;
 using namespace tcpni::cost;
@@ -72,50 +77,69 @@ struct MeasuredTable
     std::map<std::string, std::array<PaperCell, 6>> cells;
 };
 
-MeasuredTable
-measureAll(Cycles offchip_delay, bool no_overlap)
+/** One model's column of the table, keyed by row. */
+using ModelCells = std::map<std::string, PaperCell>;
+
+ModelCells
+measureModel(const ni::Model &model, Cycles offchip_delay,
+             bool no_overlap)
 {
-    MeasuredTable t;
-    auto models = ni::allModels();
-    for (size_t mi = 0; mi < models.size(); ++mi) {
-        Table1Harness h(models[mi], offchip_delay, false, no_overlap);
-        std::fprintf(stderr, "  measuring %s...\n",
-                     models[mi].name().c_str());
+    ModelCells cells;
+    Table1Harness h(model, offchip_delay, false, no_overlap);
+    std::fprintf(stderr, "  measuring %s...\n", model.name().c_str());
 
-        static const Kind kinds[] = {Kind::send0, Kind::send1,
-                                     Kind::send2, Kind::pread,
-                                     Kind::pwrite, Kind::read,
-                                     Kind::write};
-        for (Kind k : kinds) {
-            double copy_cost = h.sendingCost(k);
-            double lo = copy_cost;
-            if (models[mi].placement == ni::Placement::registerFile)
-                lo = copy_cost - msg::directlyComputableWords(k);
-            t.cells[sendRowKey(k)][mi] = {lo, copy_cost, 0};
-        }
-
-        // Dispatch, measured from the Read stream (the paper's
-        // DISPATCHING row is message-type independent).
-        ProcCost read_cost = h.processingCost(ProcCase::read);
-        t.cells["dispatch"][mi] = {read_cost.dispatching,
-                                   read_cost.dispatching, 0};
-
-        static const ProcCase cases[] = {
-            ProcCase::send0, ProcCase::send1, ProcCase::send2,
-            ProcCase::read, ProcCase::write, ProcCase::preadFull,
-            ProcCase::preadEmpty, ProcCase::preadDeferred,
-            ProcCase::pwriteEmpty,
-        };
-        for (ProcCase c : cases) {
-            ProcCost pc = h.processingCost(c);
-            t.cells[procRowKey(c)][mi] = {pc.processing, pc.processing,
-                                          0};
-        }
-
-        LinearCost lin = h.pwriteDeferredCost();
-        t.cells[procRowKey(ProcCase::pwriteDeferred)][mi] = {
-            lin.base, lin.base, lin.slope};
+    static const Kind kinds[] = {Kind::send0, Kind::send1,
+                                 Kind::send2, Kind::pread,
+                                 Kind::pwrite, Kind::read,
+                                 Kind::write};
+    for (Kind k : kinds) {
+        double copy_cost = h.sendingCost(k);
+        double lo = copy_cost;
+        if (model.placement == ni::Placement::registerFile)
+            lo = copy_cost - msg::directlyComputableWords(k);
+        cells[sendRowKey(k)] = {lo, copy_cost, 0};
     }
+
+    // Dispatch, measured from the Read stream (the paper's
+    // DISPATCHING row is message-type independent).
+    ProcCost read_cost = h.processingCost(ProcCase::read);
+    cells["dispatch"] = {read_cost.dispatching, read_cost.dispatching,
+                         0};
+
+    static const ProcCase cases[] = {
+        ProcCase::send0, ProcCase::send1, ProcCase::send2,
+        ProcCase::read, ProcCase::write, ProcCase::preadFull,
+        ProcCase::preadEmpty, ProcCase::preadDeferred,
+        ProcCase::pwriteEmpty,
+    };
+    for (ProcCase c : cases) {
+        ProcCost pc = h.processingCost(c);
+        cells[procRowKey(c)] = {pc.processing, pc.processing, 0};
+    }
+
+    LinearCost lin = h.pwriteDeferredCost();
+    cells[procRowKey(ProcCase::pwriteDeferred)] = {lin.base, lin.base,
+                                                   lin.slope};
+    return cells;
+}
+
+MeasuredTable
+measureAll(Cycles offchip_delay, bool no_overlap, unsigned jobs)
+{
+    // The six models are independent simulations: fan them out across
+    // the sweep pool.  Results merge by model index, so the table is
+    // identical whatever the thread count.
+    auto models = ni::allModels();
+    SweepRunner sweep(jobs);
+    std::vector<ModelCells> columns = sweep.map<ModelCells>(
+        models.size(), [&](size_t mi) {
+            return measureModel(models[mi], offchip_delay, no_overlap);
+        });
+
+    MeasuredTable t;
+    for (size_t mi = 0; mi < columns.size(); ++mi)
+        for (const auto &[key, cell] : columns[mi])
+            t.cells[key][mi] = cell;
     return t;
 }
 
@@ -265,6 +289,7 @@ main(int argc, char **argv)
 {
     Cycles offchip = 2;
     bool no_overlap = false;
+    unsigned jobs = 0;      // 0: hardware concurrency
     std::string json_file, trace_file;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--offchip-delay") && i + 1 < argc)
@@ -275,11 +300,17 @@ main(int argc, char **argv)
             json_file = argv[++i];
         else if (!std::strcmp(argv[i], "--trace") && i + 1 < argc)
             trace_file = argv[++i];
+        else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc)
+            jobs = static_cast<unsigned>(std::atoi(argv[++i]));
     }
 
     trace::TraceSink lifecycle_sink;
-    if (!trace_file.empty())
+    if (!trace_file.empty()) {
+        // The lifecycle sink is thread-local: tracing needs the
+        // measurements on this thread.
         trace::setSink(&lifecycle_sink);
+        jobs = 1;
+    }
 
     logging::quiet = true;
 
@@ -292,7 +323,7 @@ main(int argc, char **argv)
         std::cout << "(cache-mapped optimized handlers dispatch "
                      "without the NextMsgIp overlap)\n";
     }
-    MeasuredTable measured = measureAll(offchip, no_overlap);
+    MeasuredTable measured = measureAll(offchip, no_overlap, jobs);
     printTable("Measured (this reproduction)", measured.cells);
     printTable("Paper (Henry & Joerg 1992, Table 1)", paperTable1());
     printComparison(measured, paperTable1());

@@ -23,9 +23,10 @@ uint32_t enabledMask = 0;
 namespace
 {
 
-std::ostream *stream_ = nullptr;
-TraceSink *sink_ = nullptr;
-uint64_t nextId_ = 1;
+// Thread-local so concurrent simulations (SweepRunner workers) can
+// each trace independently without synchronization.
+thread_local std::ostream *stream_ = nullptr;
+thread_local TraceSink *sink_ = nullptr;
 
 struct FlagEntry
 {
@@ -159,12 +160,6 @@ emit(Flag, Tick tick, const std::string &who, const char *fmt, ...)
     std::string msg = logging::vformat(fmt, ap);
     va_end(ap);
     stream() << tick << ": " << who << ": " << msg << '\n';
-}
-
-uint64_t
-nextTraceId()
-{
-    return nextId_++;
 }
 
 const char *

@@ -19,7 +19,8 @@
  *    (redirectable with setStream() for tests).
  *
  * 2. **Message-lifecycle tracing.**  Every Message is tagged with a
- *    monotonically increasing trace id when it enters an NI output
+ *    monotonically increasing trace id (allocated per simulation by
+ *    EventQueue::nextTraceId()) when it enters an NI output
  *    queue.  Components report lifecycle points (inject, each mesh
  *    hop, arrival-queue enqueue, dispatch into the input registers,
  *    handler done) to an optionally installed TraceSink, which can
@@ -92,7 +93,8 @@ bool setFromString(const std::string &spec);
  *  Called automatically at program start. */
 void initFromEnv();
 
-/** Redirect trace output; nullptr restores the default (stderr). */
+/** Redirect this thread's trace output; nullptr restores the default
+ *  (stderr). */
 void setStream(std::ostream *os);
 
 /** The current trace output stream. */
@@ -101,9 +103,6 @@ std::ostream &stream();
 /** Emit one "tick: who: message" line (call via the macros). */
 void emit(Flag f, Tick tick, const std::string &who, const char *fmt, ...)
     __attribute__((format(printf, 4, 5)));
-
-/** Next message trace id (monotonic, starts at 1; 0 means untagged). */
-uint64_t nextTraceId();
 
 /** Lifecycle points of a message. */
 enum class Stage : uint8_t
@@ -174,10 +173,18 @@ class TraceSink
     uint64_t dropped_ = 0;
 };
 
-/** The installed sink, or nullptr when lifecycle tracing is off. */
+/**
+ * The installed sink, or nullptr when lifecycle tracing is off.
+ *
+ * The sink pointer (like the stream) is thread-local: every worker
+ * thread of a parallel sweep can install its own sink (or, by
+ * default, none) without racing the others, and recording stays
+ * lock-free.  Install the sink from the thread that runs the
+ * simulation.
+ */
 TraceSink *sink();
 
-/** Install (or, with nullptr, remove) the global lifecycle sink. */
+/** Install (or, with nullptr, remove) this thread's lifecycle sink. */
 void setSink(TraceSink *s);
 
 } // namespace trace

@@ -282,7 +282,7 @@ NetworkInterface::enqueueSend(Message msg)
                name().c_str(), msg.toString().c_str());
     }
 
-    msg.traceId = trace::nextTraceId();
+    msg.traceId = eventq().nextTraceId();
     msg.injectTick = curTick();
     if (auto *s = trace::sink())
         s->record(msg.traceId, trace::Stage::inject, node_, curTick(),
@@ -497,7 +497,7 @@ NetworkInterface::acceptFromNetwork(const Message &msg)
     if (m.traceId == 0) {
         // Injected directly by a test or harness, bypassing a sending
         // NI: tag it here so the lifecycle still has a start.
-        m.traceId = trace::nextTraceId();
+        m.traceId = eventq().nextTraceId();
         m.injectTick = curTick();
     }
     m.arriveTick = curTick();

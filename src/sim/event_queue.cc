@@ -1,5 +1,7 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 #include "common/trace.hh"
 
@@ -11,6 +13,12 @@ Event::~Event()
     // Callers must deschedule an event before destroying it; the queue
     // cannot detect the violation here without risking a throw from a
     // destructor.
+}
+
+EventQueue::EventQueue(Impl impl) : impl_(impl)
+{
+    if (impl_ == Impl::calendar)
+        ring_.resize(ringSize_);
 }
 
 void
@@ -28,7 +36,13 @@ EventQueue::schedule(Event *ev, Tick when)
     ev->when_ = when;
     ev->seq_ = nextSeq_++;
     ev->scheduled_ = true;
-    heap_.push(Entry{when, ev->priority_, ev->seq_, ev});
+    Entry e{when, ev->priority_, ev->seq_, ev};
+    if (impl_ == Impl::binaryHeap)
+        heap_.push(e);
+    else if (when < windowEnd())
+        ringInsert(e);
+    else
+        overflow_.push(e);
     ++nscheduled_;
 }
 
@@ -38,7 +52,7 @@ EventQueue::deschedule(Event *ev)
     tcpni_assert(ev != nullptr);
     if (!ev->scheduled_)
         panic("deschedule of unscheduled event '%s'", ev->name().c_str());
-    // Lazy deletion: the heap entry becomes stale (its seq no longer
+    // Lazy deletion: the stored entry becomes stale (its seq no longer
     // matches once the event is rescheduled, and scheduled_ is false
     // until then).
     ev->scheduled_ = false;
@@ -53,28 +67,27 @@ EventQueue::reschedule(Event *ev, Tick when)
     schedule(ev, when);
 }
 
-bool
-EventQueue::step()
+void
+EventQueue::ringInsert(const Entry &e)
 {
-    while (!heap_.empty()) {
-        Entry e = heap_.top();
-        heap_.pop();
-        if (!live(e))
-            continue;
-        curTick_ = e.when;
-        e.ev->scheduled_ = false;
-        --nscheduled_;
-        ++numProcessed_;
-        TCPNI_TRACE_AT(EVENT, e.when, "eventq", "fire %s pri=%d",
-                       e.ev->name().c_str(), e.priority);
-        e.ev->process();
-        return true;
-    }
-    return false;
+    std::vector<Entry> &b = ring_[e.when & ringMask_];
+    b.push_back(e);
+    std::push_heap(b.begin(), b.end(), BucketCmp{});
+    ++ringCount_;
 }
 
-Tick
-EventQueue::run(Tick max_tick)
+void
+EventQueue::pruneBucket(std::vector<Entry> &b)
+{
+    while (!b.empty() && !live(b.front())) {
+        std::pop_heap(b.begin(), b.end(), BucketCmp{});
+        b.pop_back();
+        --ringCount_;
+    }
+}
+
+bool
+EventQueue::popNextHeap(Tick bound, Entry &out)
 {
     while (!heap_.empty()) {
         const Entry &top = heap_.top();
@@ -82,18 +95,106 @@ EventQueue::run(Tick max_tick)
             heap_.pop();
             continue;
         }
-        if (top.when > max_tick)
-            break;
-        Entry e = top;
+        if (top.when > bound)
+            return false;
+        out = top;
         heap_.pop();
-        curTick_ = e.when;
-        e.ev->scheduled_ = false;
-        --nscheduled_;
-        ++numProcessed_;
-        TCPNI_TRACE_AT(EVENT, e.when, "eventq", "fire %s pri=%d",
-                       e.ev->name().c_str(), e.priority);
-        e.ev->process();
+        curTick_ = out.when;
+        return true;
     }
+    return false;
+}
+
+bool
+EventQueue::popNextCalendar(Tick bound, Entry &out)
+{
+    // Migrate overflow entries whose tick has entered the ring window.
+    while (!overflow_.empty()) {
+        const Entry &top = overflow_.top();
+        if (!live(top)) {
+            overflow_.pop();
+            continue;
+        }
+        if (top.when >= windowEnd())
+            break;
+        ringInsert(top);
+        overflow_.pop();
+    }
+
+    // Scan the window from the current tick; every slot before the
+    // next live entry holds only stale entries, which the prune
+    // empties in passing (this keeps the one-tick-per-bucket
+    // invariant as the window slides forward).
+    const Tick end = windowEnd();
+    for (Tick t = curTick_; t < end && ringCount_ > 0; ++t) {
+        // Anything at t > bound stays put (the overflow minimum is
+        // >= windowEnd() > bound here, so it cannot be next either).
+        if (t > bound)
+            return false;
+        std::vector<Entry> &b = ring_[t & ringMask_];
+        pruneBucket(b);
+        if (b.empty())
+            continue;
+        out = b.front();
+        std::pop_heap(b.begin(), b.end(), BucketCmp{});
+        b.pop_back();
+        --ringCount_;
+        curTick_ = t;
+        return true;
+    }
+
+    // The window is clear: the overflow top (if any) is the global
+    // minimum, beyond the window by at least a full ring.
+    while (!overflow_.empty()) {
+        const Entry &top = overflow_.top();
+        if (!live(top)) {
+            overflow_.pop();
+            continue;
+        }
+        if (top.when > bound)
+            return false;
+        out = top;
+        overflow_.pop();
+        curTick_ = out.when;
+        return true;
+    }
+    return false;
+}
+
+bool
+EventQueue::popNext(Tick bound, Entry &out)
+{
+    return impl_ == Impl::binaryHeap ? popNextHeap(bound, out)
+                                     : popNextCalendar(bound, out);
+}
+
+void
+EventQueue::fire(const Entry &e)
+{
+    e.ev->scheduled_ = false;
+    --nscheduled_;
+    ++numProcessed_;
+    TCPNI_TRACE_AT(EVENT, e.when, "eventq", "fire %s pri=%d",
+                   e.ev->name().c_str(), e.priority);
+    e.ev->process();
+}
+
+bool
+EventQueue::step()
+{
+    Entry e;
+    if (!popNext(maxTick, e))
+        return false;
+    fire(e);
+    return true;
+}
+
+Tick
+EventQueue::run(Tick max_tick)
+{
+    Entry e;
+    while (popNext(max_tick, e))
+        fire(e);
     return curTick_;
 }
 

@@ -6,6 +6,25 @@
  * sequence).  Events scheduled for the same tick and priority fire in
  * the order they were scheduled, which keeps multi-node simulations
  * deterministic.
+ *
+ * Two interchangeable internal implementations provide exactly the
+ * same firing order:
+ *
+ *  - Impl::calendar (the default): a two-tier calendar queue.  A ring
+ *    of per-tick buckets covers the near future
+ *    [curTick, curTick + ringSize); events beyond the window go to an
+ *    overflow binary heap and migrate into the ring as time advances.
+ *    Most simulator events are scheduled a handful of ticks ahead, so
+ *    scheduling and firing are O(1) amortized instead of O(log n).
+ *
+ *  - Impl::binaryHeap: the classic std::priority_queue kernel.  Kept
+ *    selectable so differential property tests can check the calendar
+ *    path against it, and for A/B host-performance measurements.
+ *
+ * Each EventQueue also allocates the message trace ids for its
+ * simulation (see nextTraceId()), so independent simulations -- e.g.
+ * parameter sweeps fanned across worker threads -- produce identical,
+ * reproducible id sequences with no shared state.
  */
 
 #ifndef TCPNI_SIM_EVENT_QUEUE_HH
@@ -91,7 +110,17 @@ class LambdaEvent : public Event
 class EventQueue
 {
   public:
-    EventQueue() = default;
+    /** Selectable internal ordering structure; both produce the same
+     *  firing order. */
+    enum class Impl
+    {
+        calendar,       //!< per-tick bucket ring + overflow heap
+        binaryHeap,     //!< single std::priority_queue
+    };
+
+    explicit EventQueue(Impl impl = Impl::calendar);
+
+    Impl impl() const { return impl_; }
 
     /** Current simulated time. */
     Tick curTick() const { return curTick_; }
@@ -126,6 +155,14 @@ class EventQueue
     /** Total number of events processed so far. */
     uint64_t numProcessed() const { return numProcessed_; }
 
+    /**
+     * Allocate the next message trace id of this simulation
+     * (monotonic, starts at 1; 0 means untagged).  Per-queue so that
+     * every run of the same configuration yields the same id
+     * sequence, even when many simulations execute concurrently.
+     */
+    uint64_t nextTraceId() { return nextTraceId_++; }
+
   private:
     struct Entry
     {
@@ -147,6 +184,17 @@ class EventQueue
         }
     };
 
+    /** Min-heap order for same-tick bucket entries. */
+    struct BucketCmp
+    {
+        bool operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.priority != b.priority)
+                return a.priority > b.priority;
+            return a.seq > b.seq;
+        }
+    };
+
     /** True when a popped heap entry still refers to a live schedule. */
     static bool
     live(const Entry &e)
@@ -154,11 +202,53 @@ class EventQueue
         return e.ev->scheduled_ && e.ev->seq_ == e.seq;
     }
 
+    /** Ticks covered by the near-future bucket ring (power of two). */
+    static constexpr size_t ringSize_ = 1024;
+    static constexpr Tick ringMask_ = ringSize_ - 1;
+
+    /** Exclusive upper tick of the ring window, saturating at
+     *  maxTick so the window never wraps. */
+    Tick
+    windowEnd() const
+    {
+        return curTick_ > maxTick - ringSize_ ? maxTick
+                                              : curTick_ + ringSize_;
+    }
+
+    void ringInsert(const Entry &e);
+
+    /** Drop stale entries from the top of @p b. */
+    void pruneBucket(std::vector<Entry> &b);
+
+    /**
+     * Extract the next live entry with when <= @p bound into @p out.
+     * @return false if none exists (events beyond @p bound stay put).
+     * On success curTick_ has been advanced to the entry's tick.
+     */
+    bool popNext(Tick bound, Entry &out);
+    bool popNextHeap(Tick bound, Entry &out);
+    bool popNextCalendar(Tick bound, Entry &out);
+
+    void fire(const Entry &e);
+
+    Impl impl_;
     Tick curTick_ = 0;
     uint64_t nextSeq_ = 0;
     uint64_t numProcessed_ = 0;
+    uint64_t nextTraceId_ = 1;
     size_t nscheduled_ = 0;
+
+    // --- Impl::binaryHeap state.
     std::priority_queue<Entry, std::vector<Entry>, Cmp> heap_;
+
+    // --- Impl::calendar state.  Bucket t & ringMask_ holds the
+    // entries of tick t; all ring entries satisfy
+    // curTick_ <= when < windowEnd().  Buckets are BucketCmp
+    // min-heaps.  ringCount_ counts physical ring entries, stale
+    // included.
+    std::vector<std::vector<Entry>> ring_;
+    size_t ringCount_ = 0;
+    std::priority_queue<Entry, std::vector<Entry>, Cmp> overflow_;
 };
 
 } // namespace tcpni

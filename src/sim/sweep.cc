@@ -1,0 +1,77 @@
+#include "sim/sweep.hh"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace tcpni
+{
+
+unsigned
+SweepRunner::defaultJobs()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+SweepRunner::SweepRunner(unsigned jobs)
+    : jobs_(jobs ? jobs : defaultJobs())
+{}
+
+void
+SweepRunner::run(std::size_t n,
+                 const std::function<void(std::size_t)> &task) const
+{
+    if (n == 0)
+        return;
+
+    if (jobs_ == 1 || n == 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            task(i);
+        return;
+    }
+
+    // Work-stealing by atomic index: workers pull the next unclaimed
+    // point.  Each task writes only its own result slot (the caller's
+    // closure indexes by i), so completion order is irrelevant.
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::mutex errMutex;
+    std::size_t firstErrIndex = n;
+    std::exception_ptr firstErr;
+
+    auto worker = [&]() {
+        while (!failed.load(std::memory_order_relaxed)) {
+            std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            try {
+                task(i);
+            } catch (...) {
+                failed.store(true, std::memory_order_relaxed);
+                std::lock_guard<std::mutex> lock(errMutex);
+                if (i < firstErrIndex) {
+                    firstErrIndex = i;
+                    firstErr = std::current_exception();
+                }
+            }
+        }
+    };
+
+    const unsigned nthreads =
+        static_cast<unsigned>(std::min<std::size_t>(jobs_, n));
+    std::vector<std::thread> pool;
+    pool.reserve(nthreads);
+    for (unsigned t = 0; t < nthreads; ++t)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+
+    if (firstErr)
+        std::rethrow_exception(firstErr);
+}
+
+} // namespace tcpni

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The parallel experiment engine.
+ *
+ * The paper's evaluation sweeps (Table 1, Figure 12, the off-chip
+ * latency sensitivity) are embarrassingly parallel: every (interface
+ * model, parameter point) pair simulates an independent System with
+ * its own EventQueue.  SweepRunner fans such independent points
+ * across a pool of std::threads with *deterministic result ordering*:
+ * results land in slots indexed by point, so the output is
+ * bit-identical to a serial run no matter how many workers raced.
+ *
+ * Determinism contract for tasks: a task may touch only its own
+ * simulation state (its System / EventQueue / harness).  The
+ * simulator's process-global knobs (logging::quiet, trace flags) must
+ * not be written while a sweep runs; the lifecycle trace sink and
+ * stream are thread-local, so a task that wants tracing installs its
+ * own sink inside the task body.
+ */
+
+#ifndef TCPNI_SIM_SWEEP_HH
+#define TCPNI_SIM_SWEEP_HH
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace tcpni
+{
+
+class SweepRunner
+{
+  public:
+    /** @param jobs worker count; 0 means defaultJobs(). */
+    explicit SweepRunner(unsigned jobs = 0);
+
+    unsigned jobs() const { return jobs_; }
+
+    /** The host's hardware concurrency, at least 1. */
+    static unsigned defaultJobs();
+
+    /**
+     * Execute task(0) ... task(n-1), each exactly once, across the
+     * worker pool; blocks until all complete.  With jobs() == 1 (or
+     * n <= 1) the tasks run inline on the calling thread in index
+     * order -- exact serial semantics.
+     *
+     * On a task exception the pool stops claiming new points, drains
+     * the in-flight ones, and rethrows the lowest-indexed recorded
+     * failure.  (With jobs() == 1 that is exactly the first failure,
+     * serial-style.)
+     */
+    void run(std::size_t n, const std::function<void(std::size_t)> &task) const;
+
+    /**
+     * Map variant: collect task results into a vector ordered by
+     * index, independent of completion order.  T must be default
+     * constructible.
+     */
+    template <typename T>
+    std::vector<T>
+    map(std::size_t n, const std::function<T(std::size_t)> &fn) const
+    {
+        std::vector<T> out(n);
+        run(n, [&](std::size_t i) { out[i] = fn(i); });
+        return out;
+    }
+
+  private:
+    unsigned jobs_;
+};
+
+} // namespace tcpni
+
+#endif // TCPNI_SIM_SWEEP_HH

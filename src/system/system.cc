@@ -27,14 +27,16 @@ Node::boot(const isa::Program &prog, Addr entry)
 }
 
 System::System(std::string name, unsigned width, unsigned height,
-               const NodeConfig &cfg)
+               const NodeConfig &cfg, EventQueue::Impl eq_impl)
     : System(std::move(name), width, height,
-             std::vector<NodeConfig>(width * height, cfg))
+             std::vector<NodeConfig>(width * height, cfg), eq_impl)
 {
 }
 
 System::System(std::string name, unsigned width, unsigned height,
-               const std::vector<NodeConfig> &cfgs)
+               const std::vector<NodeConfig> &cfgs,
+               EventQueue::Impl eq_impl)
+    : eq_(eq_impl)
 {
     tcpni_assert(cfgs.size() == static_cast<size_t>(width) * height);
     mesh_ = std::make_unique<MeshNetwork>(name + ".mesh", eq_, width,

@@ -62,11 +62,15 @@ class System
 {
   public:
     System(std::string name, unsigned width, unsigned height,
-           const NodeConfig &cfg);
+           const NodeConfig &cfg,
+           EventQueue::Impl eq_impl = EventQueue::Impl::calendar);
 
-    /** Same configuration on every node except where overridden. */
+    /** Same configuration on every node except where overridden.
+     *  @p eq_impl selects the event-kernel structure (the calendar
+     *  queue by default; the binary heap for A/B testing). */
     System(std::string name, unsigned width, unsigned height,
-           const std::vector<NodeConfig> &cfgs);
+           const std::vector<NodeConfig> &cfgs,
+           EventQueue::Impl eq_impl = EventQueue::Impl::calendar);
 
     unsigned numNodes() const
     {

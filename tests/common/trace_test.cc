@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/trace.hh"
+#include "sim/event_queue.hh"
 
 using namespace tcpni;
 using namespace tcpni::trace;
@@ -121,12 +122,17 @@ TEST_F(TraceTest, MacroSkipsWhenDisabled)
     EXPECT_EQ(out(), "0: t: 1\n");
 }
 
-TEST_F(TraceTest, TraceIdsAreMonotonic)
+TEST_F(TraceTest, TraceIdsAreMonotonicAndPerQueue)
 {
-    uint64_t a = nextTraceId();
-    uint64_t b = nextTraceId();
-    EXPECT_GT(a, 0u);
-    EXPECT_EQ(b, a + 1);
+    // Trace ids are allocated per EventQueue so independent
+    // simulations (including parallel sweep workers) see identical,
+    // reproducible sequences.
+    EventQueue eq1, eq2;
+    uint64_t a = eq1.nextTraceId();
+    uint64_t b = eq1.nextTraceId();
+    EXPECT_EQ(a, 1u);
+    EXPECT_EQ(b, 2u);
+    EXPECT_EQ(eq2.nextTraceId(), 1u);
 }
 
 TEST_F(TraceTest, SinkRecordsLifecycle)

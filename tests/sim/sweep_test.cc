@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/sweep.hh"
+
+using namespace tcpni;
+
+TEST(SweepRunner, DefaultJobsAtLeastOne)
+{
+    EXPECT_GE(SweepRunner::defaultJobs(), 1u);
+    EXPECT_EQ(SweepRunner().jobs(), SweepRunner::defaultJobs());
+    EXPECT_EQ(SweepRunner(3).jobs(), 3u);
+}
+
+TEST(SweepRunner, RunsEveryTaskExactlyOnce)
+{
+    for (unsigned jobs : {1u, 2u, 4u, 8u}) {
+        const size_t n = 100;
+        std::vector<std::atomic<int>> hits(n);
+        SweepRunner(jobs).run(n, [&](size_t i) { ++hits[i]; });
+        for (size_t i = 0; i < n; ++i)
+            EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+    }
+}
+
+TEST(SweepRunner, MapPreservesIndexOrder)
+{
+    // Results must land by index regardless of completion order.
+    SweepRunner sweep(4);
+    std::vector<int> out = sweep.map<int>(
+        50, [](size_t i) { return static_cast<int>(i * i); });
+    ASSERT_EQ(out.size(), 50u);
+    for (size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], static_cast<int>(i * i));
+}
+
+TEST(SweepRunner, SerialAndParallelResultsIdentical)
+{
+    auto fn = [](size_t i) {
+        // A task with some index-dependent arithmetic.
+        uint64_t h = i * 0x9e3779b97f4a7c15ULL;
+        h ^= h >> 31;
+        return std::to_string(h);
+    };
+    std::vector<std::string> serial =
+        SweepRunner(1).map<std::string>(64, fn);
+    std::vector<std::string> parallel =
+        SweepRunner(4).map<std::string>(64, fn);
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(SweepRunner, ZeroTasksIsANoop)
+{
+    int hits = 0;
+    SweepRunner(4).run(0, [&](size_t) { ++hits; });
+    EXPECT_EQ(hits, 0);
+}
+
+TEST(SweepRunner, SingleJobRunsInline)
+{
+    // jobs == 1 must execute on the calling thread in index order
+    // (exact serial semantics, needed by --trace runs).
+    std::vector<size_t> order;
+    SweepRunner(1).run(10, [&](size_t i) { order.push_back(i); });
+    std::vector<size_t> expect(10);
+    std::iota(expect.begin(), expect.end(), 0);
+    EXPECT_EQ(order, expect);
+}
+
+TEST(SweepRunner, TaskExceptionPropagates)
+{
+    for (unsigned jobs : {1u, 4u}) {
+        SweepRunner sweep(jobs);
+        EXPECT_THROW(sweep.run(8,
+                               [](size_t i) {
+                                   if (i == 3)
+                                       throw std::runtime_error("boom");
+                               }),
+                     std::runtime_error);
+    }
+}
+
+TEST(SweepRunner, MoreTasksThanJobs)
+{
+    std::atomic<int> sum{0};
+    SweepRunner(2).run(1000, [&](size_t i) {
+        sum += static_cast<int>(i);
+    });
+    EXPECT_EQ(sum.load(), 999 * 1000 / 2);
+}
