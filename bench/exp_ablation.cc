@@ -1,42 +1,27 @@
 /**
  * @file
- * Ablation of the Section-2.2 hardware optimizations.
- *
- * The paper evaluates the optimizations as a bundle; this bench
- * separates their contributions.  Starting from the measured *basic*
- * costs of each placement, it enables one mechanism at a time and
- * re-expands the Matrix Multiply workload:
- *
- *  - "+hw dispatch"  : dispatch cost drops to the measured optimized
- *    dispatch (MsgIp / NextMsgIp replace the Figure-5 software
- *    sequence);
- *  - "+encoded types": sending sheds the 32-bit id generation/store
- *    (the measured basic-vs-optimized sending delta);
- *  - "+reply/forward": reply-building processing drops to the
- *    measured optimized processing (REPLY/FORWARD modes remove the
- *    copies).
- *
- * Each hybrid cost model splices the corresponding measured optimized
- * rows into the measured basic model, so every number traces back to
- * an executed kernel.
- *
- * Flags:  --n N      matrix dimension (default 100)
- *         --jobs N   run the kernel measurements and the workload on
- *                    N worker threads (default: hardware concurrency)
+ * The optimization-ablation experiment: the Section-2.2 mechanisms
+ * (hw dispatch, encoded types, REPLY/FORWARD) enabled one at a time by
+ * splicing measured optimized rows into the measured basic cost model,
+ * so every number traces back to an executed kernel.  See
+ * EXPERIMENTS.md "Ablation".
  */
 
 #include <cstdio>
-#include <cstring>
 #include <iostream>
 #include <vector>
 
 #include "apps/matmul.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "experiments.hh"
 #include "sim/sweep.hh"
 #include "tam/expand.hh"
 
-using namespace tcpni;
+namespace tcpni
+{
+namespace bench
+{
 
 namespace
 {
@@ -79,21 +64,10 @@ hybrid(const tam::CommCosts &basic, const tam::CommCosts &opt,
     return h;
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+runAblation(const exp::Context &ctx)
 {
-    unsigned n = 100;
-    unsigned jobs = 0;      // 0: hardware concurrency
-    for (int i = 1; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "--n") && i + 1 < argc)
-            n = static_cast<unsigned>(std::atoi(argv[++i]));
-        else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc)
-            jobs = static_cast<unsigned>(std::atoi(argv[++i]));
-    }
-
-    logging::quiet = true;
+    unsigned n = static_cast<unsigned>(ctx.num("--n"));
 
     std::cout << "Optimization ablation on " << n << "x" << n
               << " Matrix Multiply (cycles; lower is better)\n";
@@ -107,7 +81,7 @@ main(int argc, char **argv)
         ni::Placement::offChipCache};
     apps::MatMulResult mm;
     std::vector<tam::CommCosts> basics(3), opts(3);
-    SweepRunner sweep(jobs);
+    SweepRunner sweep(ctx.jobs);
     sweep.run(7, [&](size_t i) {
         if (i == 0) {
             std::fprintf(stderr, "running matrix multiply...\n");
@@ -179,3 +153,23 @@ main(int argc, char **argv)
                  "hardware mechanisms\nrather than placement.\n";
     return 0;
 }
+
+} // namespace
+
+void
+registerAblation(exp::ExperimentRegistry &reg)
+{
+    reg.add({
+        "ablation",
+        "Per-optimization ablation of the Section-2.2 mechanisms",
+        {
+            {"--n", "N", "matrix dimension", "100", false},
+        },
+        false,  // no --json
+        false,  // no --trace
+        runAblation,
+    });
+}
+
+} // namespace bench
+} // namespace tcpni

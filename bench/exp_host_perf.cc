@@ -5,17 +5,10 @@
  * the SweepRunner thread pool, and raw event-kernel throughput
  * (events/second) for the calendar queue vs the reference binary
  * heap.  Results go to stdout and to a JSON file for CI tracking.
- *
- * Flags:
- *   --jobs N     parallel sweep width (default: hardware concurrency)
- *   --events N   events per kernel-throughput measurement
- *                (default 1000000)
- *   --out FILE   JSON output file (default BENCH_host.json)
  */
 
 #include <chrono>
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -23,11 +16,16 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "experiments.hh"
+#include "ni/model_registry.hh"
 #include "sim/event_queue.hh"
 #include "sim/sweep.hh"
 #include "tam/expand.hh"
 
-using namespace tcpni;
+namespace tcpni
+{
+namespace bench
+{
 
 namespace
 {
@@ -40,14 +38,14 @@ seconds(std::chrono::steady_clock::time_point t0)
         .count();
 }
 
-/** Wall-time of the full six-model Table-1 kernel sweep. */
+/** Wall-time of the full registered-model Table-1 kernel sweep. */
 double
 timeModelSweep(unsigned jobs)
 {
-    auto models = ni::allModels();
+    const auto &models = ni::registeredModels();
     auto t0 = std::chrono::steady_clock::now();
     SweepRunner(jobs).run(models.size(), [&](size_t i) {
-        tam::measureCommCosts(models[i], 2);
+        tam::measureCommCosts(models[i].model);
     });
     return seconds(t0);
 }
@@ -104,26 +102,14 @@ timeEventKernel(EventQueue::Impl impl, uint64_t total_events,
     return static_cast<double>(eq.numProcessed()) / sec;
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+runHostPerf(const exp::Context &ctx)
 {
-    unsigned jobs = 0;      // 0: hardware concurrency
-    uint64_t events = 1000000;
-    std::string out_file = "BENCH_host.json";
-    for (int i = 1; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc)
-            jobs = static_cast<unsigned>(std::atoi(argv[++i]));
-        else if (!std::strcmp(argv[i], "--events") && i + 1 < argc)
-            events = static_cast<uint64_t>(std::atoll(argv[++i]));
-        else if (!std::strcmp(argv[i], "--out") && i + 1 < argc)
-            out_file = argv[++i];
-    }
+    unsigned jobs = ctx.jobs;
+    uint64_t events = static_cast<uint64_t>(ctx.num("--events"));
+    std::string out_file = ctx.str("--out");
     if (jobs == 0)
         jobs = SweepRunner::defaultJobs();
-
-    logging::quiet = true;
 
     std::cout << "Host performance (simulator wall-time; "
               << SweepRunner::defaultJobs()
@@ -175,3 +161,27 @@ main(int argc, char **argv)
     std::cout << "wrote " << out_file << "\n";
     return 0;
 }
+
+} // namespace
+
+void
+registerHostPerf(exp::ExperimentRegistry &reg)
+{
+    reg.add({
+        "host_perf",
+        "Host wall-time: sweep-pool speedup and event-kernel "
+        "throughput",
+        {
+            {"--events", "N", "events per kernel-throughput "
+             "measurement", "1000000", false},
+            {"--out", "FILE", "JSON output file", "BENCH_host.json",
+             false},
+        },
+        false,  // JSON goes to --out, not --json
+        false,  // no --trace
+        runHostPerf,
+    });
+}
+
+} // namespace bench
+} // namespace tcpni

@@ -1,50 +1,36 @@
 /**
  * @file
- * Section 4.2.3's sensitivity claim (claim C): "Figure 12 assumes a
- * two cycle latency for reads from the off-chip interface.  If,
- * however, the latency is increased to 8 cycles instead of 2, then the
- * communication costs of the off-chip optimized model will double.
- * As a result, relegating the network interface off-chip will not
- * remain a viable alternative for future generations of
- * multiprocessors."
- *
- * This bench sweeps the off-chip load-use delay over {2, 4, 6, 8}
- * cycles, re-measures the Table-1 kernels at each point, and expands
- * the Matrix Multiply workload -- reporting the off-chip models'
- * communication growth against the latency-immune register-mapped
- * model.
- *
- * Flags:  --n N      matrix dimension (default 100)
- *         --jobs N   run the kernel measurements and the workload on
- *                    N worker threads (default: hardware concurrency)
+ * Section 4.2.3's sensitivity claim (claim C): sweep the off-chip
+ * load-use delay over {2, 4, 6, 8} cycles, re-measure the Table-1
+ * kernels at each point, and expand the Matrix Multiply workload --
+ * reporting the off-chip models' communication growth against the
+ * latency-immune register-mapped model.  (The single 8-cycle point is
+ * also the registry's "faroff-opt" model under -DTCPNI_EXTRA_MODELS.)
  */
 
 #include <cstdio>
-#include <cstring>
 #include <iostream>
 #include <vector>
 
 #include "apps/matmul.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "experiments.hh"
 #include "sim/sweep.hh"
 #include "tam/expand.hh"
 
-using namespace tcpni;
+namespace tcpni
+{
+namespace bench
+{
+
+namespace
+{
 
 int
-main(int argc, char **argv)
+runOffchipLatency(const exp::Context &ctx)
 {
-    unsigned n = 100;
-    unsigned jobs = 0;      // 0: hardware concurrency
-    for (int i = 1; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "--n") && i + 1 < argc)
-            n = static_cast<unsigned>(std::atoi(argv[++i]));
-        else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc)
-            jobs = static_cast<unsigned>(std::atoi(argv[++i]));
-    }
-
-    logging::quiet = true;
+    unsigned n = static_cast<unsigned>(ctx.num("--n"));
 
     std::cout << "Off-chip read-latency sensitivity (Section 4.2.3), "
               << n << "x" << n << " Matrix Multiply\n";
@@ -62,7 +48,7 @@ main(int argc, char **argv)
     // is identical whatever the thread count.
     apps::MatMulResult mm;
     std::vector<tam::CommCosts> costs(12);
-    SweepRunner sweep(jobs);
+    SweepRunner sweep(ctx.jobs);
     sweep.run(13, [&](size_t i) {
         if (i == 0) {
             std::fprintf(stderr, "running matrix multiply...\n");
@@ -74,8 +60,8 @@ main(int argc, char **argv)
             std::fprintf(stderr, "  measuring kernels at delay %u...\n",
                          static_cast<unsigned>(delays[di]));
         }
-        costs[i - 1] =
-            tam::measureCommCosts(sweep_models[si], delays[di]);
+        costs[i - 1] = tam::measureCommCosts(
+            sweep_models[si].withOffchipDelay(delays[di]));
     });
     if (!mm.verified)
         fatal("matrix multiply failed verification");
@@ -123,3 +109,23 @@ main(int argc, char **argv)
            "measured growth is smaller.\nSee EXPERIMENTS.md.\n";
     return 0;
 }
+
+} // namespace
+
+void
+registerOffchipLatency(exp::ExperimentRegistry &reg)
+{
+    reg.add({
+        "offchip_latency",
+        "Section 4.2.3: off-chip load-use delay sweep over {2,4,6,8}",
+        {
+            {"--n", "N", "matrix dimension", "100", false},
+        },
+        false,  // no --json
+        false,  // no --trace
+        runOffchipLatency,
+    });
+}
+
+} // namespace bench
+} // namespace tcpni

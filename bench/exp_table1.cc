@@ -1,91 +1,51 @@
 /**
  * @file
- * Regenerates Table 1 of the paper: the number of RISC processor
- * cycles each network interface implementation takes to send a
- * message, to dispatch an arrived message, and to process a message --
- * measured by executing the hand-written handler kernels on the CPU
- * timing model (not by printing constants).
- *
- * Output: the measured table in the paper's layout, the paper's
- * published table, and a per-cell comparison.
- *
- * Flags:
- *   --offchip-delay N   off-chip load-use delay (default 2; Section
- *                       4.2.3 studies 8)
- *   --no-overlap        dispatch without the NextMsgIp overlap
- *   --json FILE         write measured + paper cells as JSON
- *   --trace FILE        write a Chrome trace of the kernel messages
- *                       (forces --jobs 1: the trace sink is
- *                       thread-local)
- *   --jobs N            measure the six models on N worker threads
- *                       (default: hardware concurrency)
+ * The Table-1 experiment: the RISC cycles each interface model takes
+ * to send, dispatch, and process each message type -- measured by
+ * executing the hand-written handler kernels on the CPU timing model.
+ * Prints the measured table over every registered model, the paper's
+ * published table, and a per-cell comparison for the six paper models.
  */
 
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <iostream>
-#include <sstream>
 #include <vector>
 
-#include "common/logging.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
-#include "common/trace.hh"
 #include "cost/table1.hh"
+#include "experiments.hh"
+#include "ni/model_registry.hh"
+#include "ni/placement_policy.hh"
 #include "sim/sweep.hh"
 
-using namespace tcpni;
-using namespace tcpni::cost;
+namespace tcpni
+{
+namespace bench
+{
+
+using namespace cost;
 using msg::Kind;
 
 namespace
 {
 
-std::string
-fmt(double v)
-{
-    char buf[32];
-    if (v == static_cast<long>(v))
-        std::snprintf(buf, sizeof(buf), "%ld", static_cast<long>(v));
-    else
-        std::snprintf(buf, sizeof(buf), "%.1f", v);
-    return buf;
-}
-
-std::string
-fmtRange(double lo, double hi)
-{
-    if (lo == hi)
-        return fmt(lo);
-    return fmt(lo) + "-" + fmt(hi);
-}
-
-std::string
-fmtLinear(double base, double slope)
-{
-    if (slope == 0)
-        return fmt(base);
-    return fmt(base) + "+" + fmt(slope) + "n";
-}
-
-struct MeasuredTable
-{
-    // row key -> 6 cells (lo, hi, slope), same layout as paperTable1().
-    std::map<std::string, std::array<PaperCell, 6>> cells;
-};
-
 /** One model's column of the table, keyed by row. */
 using ModelCells = std::map<std::string, PaperCell>;
 
+struct MeasuredTable
+{
+    // row key -> one cell (lo, hi, slope) per registered model.
+    std::map<std::string, std::vector<PaperCell>> cells;
+};
+
 ModelCells
-measureModel(const ni::Model &model, Cycles offchip_delay,
-             bool no_overlap)
+measureModel(const ni::Model &model, bool no_overlap)
 {
     ModelCells cells;
-    Table1Harness h(model, offchip_delay, false, no_overlap);
+    Table1Harness h(model, false, no_overlap);
     std::fprintf(stderr, "  measuring %s...\n", model.name().c_str());
 
     static const Kind kinds[] = {Kind::send0, Kind::send1,
@@ -95,7 +55,7 @@ measureModel(const ni::Model &model, Cycles offchip_delay,
     for (Kind k : kinds) {
         double copy_cost = h.sendingCost(k);
         double lo = copy_cost;
-        if (model.placement == ni::Placement::registerFile)
+        if (model.policy().directCompose())
             lo = copy_cost - msg::directlyComputableWords(k);
         cells[sendRowKey(k)] = {lo, copy_cost, 0};
     }
@@ -124,22 +84,26 @@ measureModel(const ni::Model &model, Cycles offchip_delay,
 }
 
 MeasuredTable
-measureAll(Cycles offchip_delay, bool no_overlap, unsigned jobs)
+measureAll(const std::vector<ni::Model> &models, bool no_overlap,
+           unsigned jobs)
 {
-    // The six models are independent simulations: fan them out across
-    // the sweep pool.  Results merge by model index, so the table is
+    // The models are independent simulations: fan them out across the
+    // sweep pool.  Results merge by model index, so the table is
     // identical whatever the thread count.
-    auto models = ni::allModels();
     SweepRunner sweep(jobs);
     std::vector<ModelCells> columns = sweep.map<ModelCells>(
         models.size(), [&](size_t mi) {
-            return measureModel(models[mi], offchip_delay, no_overlap);
+            return measureModel(models[mi], no_overlap);
         });
 
     MeasuredTable t;
-    for (size_t mi = 0; mi < columns.size(); ++mi)
-        for (const auto &[key, cell] : columns[mi])
-            t.cells[key][mi] = cell;
+    for (size_t mi = 0; mi < columns.size(); ++mi) {
+        for (const auto &[key, cell] : columns[mi]) {
+            auto &row = t.cells[key];
+            row.resize(models.size());
+            row[mi] = cell;
+        }
+    }
     return t;
 }
 
@@ -176,15 +140,16 @@ rowSpecs()
     };
 }
 
+template <typename Cells>
 void
-printTable(const char *title,
-           const std::map<std::string, std::array<PaperCell, 6>> &cells)
+printTable(const char *title, const std::vector<std::string> &labels,
+           const Cells &cells)
 {
     std::cout << "\n=== " << title << " ===\n";
     TextTable tt;
-    tt.header({"Action", "Message Type", "Opt Reg", "Opt On-chip",
-               "Opt Off-chip", "Basic Reg", "Basic On-chip",
-               "Basic Off-chip"});
+    std::vector<std::string> header{"Action", "Message Type"};
+    header.insert(header.end(), labels.begin(), labels.end());
+    tt.header(header);
     const char *last_section = "";
     for (const RowSpec &row : rowSpecs()) {
         if (row.section[0] && std::strcmp(row.section, last_section)) {
@@ -207,6 +172,8 @@ printComparison(const MeasuredTable &m,
                 const std::map<std::string,
                                std::array<PaperCell, 6>> &paper)
 {
+    // The comparison covers the six paper columns only; registry
+    // extensions have no published reference cells.
     std::cout << "\n=== Measured vs paper (per cell; '=' exact, "
                  "otherwise measured/paper) ===\n";
     TextTable tt;
@@ -245,22 +212,11 @@ printComparison(const MeasuredTable &m,
               << close << ", larger deviation: " << off << "\n";
 }
 
-std::string
-jnum(double v)
-{
-    char buf[40];
-    if (!std::isfinite(v))
-        return "0";
-    std::snprintf(buf, sizeof(buf), "%.10g", v);
-    return buf;
-}
-
+template <typename Cells>
 void
-writeCellsJson(std::ostream &os,
-               const std::map<std::string,
-                              std::array<PaperCell, 6>> &cells)
+writeCellsJson(std::ostream &os, const std::vector<std::string> &names,
+               const Cells &cells)
 {
-    auto models = ni::allModels();
     os << "{";
     bool first_row = true;
     for (const RowSpec &row : rowSpecs()) {
@@ -270,49 +226,38 @@ writeCellsJson(std::ostream &os,
            << "\"section\":\"" << row.section << "\",\"label\":\""
            << stats::jsonEscape(row.label) << "\",\"cells\":{";
         const auto &arr = cells.at(row.key);
-        for (size_t i = 0; i < 6; ++i) {
+        for (size_t i = 0; i < names.size(); ++i) {
             os << (i ? "," : "") << "\""
-               << stats::jsonEscape(models[i].name())
-               << "\":{\"lo\":" << jnum(arr[i].lo) << ",\"hi\":"
-               << jnum(arr[i].hi) << ",\"slope\":"
-               << jnum(arr[i].slope) << "}";
+               << stats::jsonEscape(names[i])
+               << "\":{\"lo\":" << stats::jsonNum(arr[i].lo)
+               << ",\"hi\":" << stats::jsonNum(arr[i].hi)
+               << ",\"slope\":" << stats::jsonNum(arr[i].slope) << "}";
         }
         os << "}}";
     }
     os << "\n}";
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+runTable1(const exp::Context &ctx)
 {
-    Cycles offchip = 2;
-    bool no_overlap = false;
-    unsigned jobs = 0;      // 0: hardware concurrency
-    std::string json_file, trace_file;
-    for (int i = 1; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "--offchip-delay") && i + 1 < argc)
-            offchip = static_cast<Cycles>(std::atoi(argv[++i]));
-        else if (!std::strcmp(argv[i], "--no-overlap"))
-            no_overlap = true;
-        else if (!std::strcmp(argv[i], "--json") && i + 1 < argc)
-            json_file = argv[++i];
-        else if (!std::strcmp(argv[i], "--trace") && i + 1 < argc)
-            trace_file = argv[++i];
-        else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc)
-            jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+    // The registered model set (the paper's six, plus any registry
+    // extensions such as the far off-chip variant).
+    const auto &infos = ni::registeredModels();
+    // --offchip-delay overrides every model's off-chip latency (the
+    // legacy flag); without it each model keeps its registered delay.
+    std::vector<ni::Model> models;
+    std::vector<std::string> labels, names;
+    for (const ni::ModelInfo &info : infos) {
+        models.push_back(ctx.given("--offchip-delay")
+                             ? info.model.withOffchipDelay(
+                                   ctx.num("--offchip-delay"))
+                             : info.model);
+        labels.push_back(info.tableLabel);
+        names.push_back(info.name);
     }
-
-    trace::TraceSink lifecycle_sink;
-    if (!trace_file.empty()) {
-        // The lifecycle sink is thread-local: tracing needs the
-        // measurements on this thread.
-        trace::setSink(&lifecycle_sink);
-        jobs = 1;
-    }
-
-    logging::quiet = true;
+    bool no_overlap = ctx.on("--no-overlap");
+    Cycles offchip = static_cast<Cycles>(ctx.num("--offchip-delay"));
 
     std::cout << "Table 1 reproduction: RISC cycles to send, dispatch, "
                  "and process each message type\n"
@@ -323,34 +268,50 @@ main(int argc, char **argv)
         std::cout << "(cache-mapped optimized handlers dispatch "
                      "without the NextMsgIp overlap)\n";
     }
-    MeasuredTable measured = measureAll(offchip, no_overlap, jobs);
-    printTable("Measured (this reproduction)", measured.cells);
-    printTable("Paper (Henry & Joerg 1992, Table 1)", paperTable1());
+    MeasuredTable measured = measureAll(models, no_overlap, ctx.jobs);
+    printTable("Measured (this reproduction)", labels, measured.cells);
+    static const std::vector<std::string> paper_labels{
+        "Opt Reg", "Opt On-chip", "Opt Off-chip", "Basic Reg",
+        "Basic On-chip", "Basic Off-chip"};
+    printTable("Paper (Henry & Joerg 1992, Table 1)", paper_labels,
+               paperTable1());
     printComparison(measured, paperTable1());
 
-    if (!json_file.empty()) {
-        std::ofstream os(json_file);
-        if (!os)
-            fatal("cannot open --json file '%s'", json_file.c_str());
+    ctx.writeJson([&](std::ostream &os) {
+        std::vector<std::string> paper_names;
+        for (const ni::Model &m : ni::paperModels())
+            paper_names.push_back(m.name());
         os << "{\"config\":{\"offchipDelay\":" << offchip
            << ",\"noOverlap\":" << (no_overlap ? "true" : "false")
            << "},\n\"measured\":";
-        writeCellsJson(os, measured.cells);
+        writeCellsJson(os, names, measured.cells);
         os << ",\n\"paper\":";
-        writeCellsJson(os, paperTable1());
+        writeCellsJson(os, paper_names, paperTable1());
         os << "}\n";
-        std::cout << "\nwrote JSON results to " << json_file << "\n";
-    }
-    if (!trace_file.empty()) {
-        trace::setSink(nullptr);
-        std::ofstream os(trace_file);
-        if (!os)
-            fatal("cannot open --trace file '%s'", trace_file.c_str());
-        lifecycle_sink.writeChromeTrace(os);
-        std::cout << "wrote Chrome trace ("
-                  << lifecycle_sink.completeLifecycles()
-                  << " complete message lifecycles) to " << trace_file
-                  << "\n";
-    }
+    });
     return 0;
 }
+
+} // namespace
+
+void
+registerTable1(exp::ExperimentRegistry &reg)
+{
+    reg.add({
+        "table1",
+        "Table 1: per-message send/dispatch/process cycles per model",
+        {
+            {"--offchip-delay", "N",
+             "off-chip load-use delay override (Section 4.2.3 "
+             "studies 8)", "2", false},
+            {"--no-overlap", "",
+             "dispatch without the NextMsgIp overlap", "", true},
+        },
+        true,   // --json
+        true,   // --trace
+        runTable1,
+    });
+}
+
+} // namespace bench
+} // namespace tcpni

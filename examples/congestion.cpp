@@ -45,6 +45,7 @@ main(int argc, char **argv)
     sys::NodeConfig sender_cfg;
     sender_cfg.ni.placement = ni::Placement::registerFile;
     sender_cfg.ni.outputQueueDepth = 4;
+    sender_cfg.ni.outputThreshold = 4;  // == depth: oafull never raises
 
     sys::NodeConfig server_cfg = sender_cfg;
     server_cfg.ni.inputQueueDepth = 8;

@@ -14,6 +14,7 @@
 #include "apps/matmul.hh"
 #include "common/logging.hh"
 #include "tam/expand.hh"
+#include "ni/model_registry.hh"
 
 using namespace tcpni;
 
@@ -52,7 +53,7 @@ main(int argc, char **argv)
                 r.flopsPerMessage);
 
     std::printf("\nprojected cycles per interface model:\n");
-    for (const ni::Model &m : ni::allModels()) {
+    for (const ni::Model &m : ni::paperModels()) {
         tam::CommCosts costs = tam::measureCommCosts(m);
         tam::Figure12Bar bar = tam::expand(r.stats, costs);
         std::printf("  %-26s total %12.0f  (comm share %.1f%%)\n",

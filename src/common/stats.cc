@@ -186,12 +186,23 @@ StatGroup::dump(std::ostream &os) const
     }
 }
 
+std::string
+jsonNum(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    return buf;
+}
+
 namespace
 {
 
-/** Render a double as JSON (finite guard; NaN/inf become 0). */
+/** Render a double as JSON at the stats dumps' 6-digit precision
+ *  (finite guard; NaN/inf become 0). */
 std::string
-jsonNum(double v)
+statNum(double v)
 {
     if (!std::isfinite(v))
         return "0";
@@ -254,10 +265,10 @@ StatGroup::dumpJson(std::ostream &os) const
           case Entry::Kind::dist: {
             auto *d = static_cast<const Distribution *>(entry.stat);
             os << "{\"count\":" << d->count()
-               << ",\"mean\":" << jsonNum(d->mean())
-               << ",\"stddev\":" << jsonNum(d->stddev())
-               << ",\"min\":" << jsonNum(d->min())
-               << ",\"max\":" << jsonNum(d->max())
+               << ",\"mean\":" << statNum(d->mean())
+               << ",\"stddev\":" << statNum(d->stddev())
+               << ",\"min\":" << statNum(d->min())
+               << ",\"max\":" << statNum(d->max())
                << ",\"underflow\":" << d->underflow()
                << ",\"overflow\":" << d->overflow()
                << ",\"buckets\":[";
@@ -269,7 +280,7 @@ StatGroup::dumpJson(std::ostream &os) const
           }
           case Entry::Kind::timeWeighted: {
             auto *t = static_cast<const TimeWeighted *>(entry.stat);
-            os << "{\"avg\":" << jsonNum(t->avg())
+            os << "{\"avg\":" << statNum(t->avg())
                << ",\"max\":" << t->max() << "}";
             break;
           }

@@ -192,6 +192,10 @@ class StatGroup
 /** Escape a string for inclusion in a JSON string literal. */
 std::string jsonEscape(const std::string &s);
 
+/** Format a double as a JSON number ("%.10g"; non-finite values,
+ *  which JSON cannot represent, collapse to "0"). */
+std::string jsonNum(double v);
+
 } // namespace stats
 } // namespace tcpni
 

@@ -1,6 +1,7 @@
 #include "common/table.hh"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/logging.hh"
 
@@ -71,6 +72,52 @@ TextTable::print(std::ostream &os) const
         else
             emit(r);
     }
+}
+
+std::string
+fmt(double v)
+{
+    char buf[32];
+    if (v == static_cast<long>(v))
+        std::snprintf(buf, sizeof(buf), "%ld", static_cast<long>(v));
+    else
+        std::snprintf(buf, sizeof(buf), "%.1f", v);
+    return buf;
+}
+
+std::string
+fmtRange(double lo, double hi)
+{
+    if (lo == hi)
+        return fmt(lo);
+    return fmt(lo) + "-" + fmt(hi);
+}
+
+std::string
+fmtLinear(double base, double slope)
+{
+    if (slope == 0)
+        return fmt(base);
+    return fmt(base) + "+" + fmt(slope) + "n";
+}
+
+std::string
+fmtK(double v)
+{
+    char buf[32];
+    if (v >= 1e6)
+        std::snprintf(buf, sizeof(buf), "%.2fM", v / 1e6);
+    else
+        std::snprintf(buf, sizeof(buf), "%.1fk", v / 1e3);
+    return buf;
+}
+
+std::string
+pct(double v)
+{
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%.1f%%", v * 100);
+    return buf;
 }
 
 } // namespace tcpni

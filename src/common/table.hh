@@ -36,6 +36,23 @@ class TextTable
     std::vector<std::vector<std::string>> rows_;
 };
 
+// Cell formatters shared by the paper-style tables.
+
+/** Integer when whole, otherwise one decimal: "14", "3.5". */
+std::string fmt(double v);
+
+/** "lo-hi" cycle range, collapsed to one number when equal. */
+std::string fmtRange(double lo, double hi);
+
+/** "base+slope n" linear cost, collapsed when the slope is zero. */
+std::string fmtLinear(double base, double slope);
+
+/** Scaled count: "812.5k" below a million, "1.23M" above. */
+std::string fmtK(double v);
+
+/** Percentage with one decimal: 0.514 -> "51.4%". */
+std::string pct(double v);
+
 } // namespace tcpni
 
 #endif // TCPNI_COMMON_TABLE_HH

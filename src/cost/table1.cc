@@ -54,9 +54,9 @@ procCaseName(ProcCase c)
     return "?";
 }
 
-Table1Harness::Table1Harness(ni::Model model, Cycles offchip_delay,
-                             bool basic_sw_checks, bool no_overlap)
-    : model_(model), offchipDelay_(offchip_delay)
+Table1Harness::Table1Harness(ni::Model model, bool basic_sw_checks,
+                             bool no_overlap)
+    : model_(model)
 {
     handlerProg_ = msg::assembleKernel(
         msg::handlerProgram(model_, basic_sw_checks, no_overlap));
@@ -66,7 +66,6 @@ ni::NiConfig
 Table1Harness::config() const
 {
     ni::NiConfig cfg = model_.config();
-    cfg.offChipLoadUseDelay = offchipDelay_;
     cfg.inputQueueDepth = 64;
     cfg.outputQueueDepth = 64;
     // Thresholds high enough that the preloaded stream never trips the
@@ -330,7 +329,7 @@ procRowKey(ProcCase c)
 std::map<std::string, std::array<PaperCell, 6>>
 paperTable1()
 {
-    // Column order matches ni::allModels(): optimized register /
+    // Column order matches ni::paperModels(): optimized register /
     // on-chip / off-chip, then basic register / on-chip / off-chip.
     auto exact = [](double v) { return PaperCell{v, v, 0}; };
     auto range = [](double lo, double hi) { return PaperCell{lo, hi, 0}; };

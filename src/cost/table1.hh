@@ -76,8 +76,11 @@ class Table1Harness
      *   in the basic models' dispatch (Section 2.2.4).  Table 1 itself
      *   omits them (its caption says the comparison favors the basic
      *   models); the Figure-12 expansion includes them.
+     *
+     * The off-chip load-use delay comes from the model itself
+     * (Model::withOffchipDelay for the Section 4.2.3 sensitivity).
      */
-    explicit Table1Harness(ni::Model model, Cycles offchip_delay = 2,
+    explicit Table1Harness(ni::Model model,
                            bool basic_sw_checks = false,
                            bool no_overlap = false);
 
@@ -120,7 +123,6 @@ class Table1Harness
     ni::NiConfig config() const;
 
     ni::Model model_;
-    Cycles offchipDelay_;
     std::optional<isa::Program> handlerProg_;
 };
 
@@ -134,7 +136,7 @@ struct PaperCell
 
 /**
  * The paper's Table 1, keyed by (row, model index) where the model
- * index follows ni::allModels() order: optimized reg / on-chip /
+ * index follows ni::paperModels() order: optimized reg / on-chip /
  * off-chip, then basic reg / on-chip / off-chip.  Row keys:
  * "send:<kind>", "dispatch", "proc:<case>".
  */

@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "common/trace.hh"
+#include "ni/placement_policy.hh"
 #include "noc/message.hh"
 
 namespace tcpni
@@ -15,8 +16,7 @@ Cpu::Cpu(std::string name, EventQueue &eq, Memory &mem,
     : SimObject(std::move(name), eq), mem_(mem), ni_(ni),
       config_(config), tickEvent_(*this)
 {
-    regMappedNi_ =
-        ni_ && ni_->config().placement == ni::Placement::registerFile;
+    regMappedNi_ = ni_ && ni_->config().policy().registerMapped();
     if (ni_) {
         ni_->setInterruptSink([this](Word handler) {
             // Latched here; taken at the next instruction boundary.

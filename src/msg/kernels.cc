@@ -5,6 +5,7 @@
 #include "common/logging.hh"
 #include "msg/protocol.hh"
 #include "ni/ni_regs.hh"
+#include "ni/placement_policy.hh"
 
 namespace tcpni
 {
@@ -1019,14 +1020,17 @@ std::string
 handlerProgram(const ni::Model &model, bool basic_sw_checks,
                bool no_overlap)
 {
+    // The policy's addressing mode is the instruction-sequence
+    // selection hook: register-operand kernels for a register-file
+    // coupling, load/store kernels for a memory-mapped one.
+    bool reg = model.policy().registerMapped();
     if (model.optimized) {
-        if (model.placement == ni::Placement::registerFile)
+        if (reg)
             return regOptHandlers();
         return no_overlap ? cacheOptHandlersNoOverlap()
                           : cacheOptHandlers();
     }
-    return model.placement == ni::Placement::registerFile
-               ? regBasicHandlers(basic_sw_checks)
+    return reg ? regBasicHandlers(basic_sw_checks)
                : cacheBasicHandlers(basic_sw_checks);
 }
 
@@ -1209,7 +1213,7 @@ cacheSendBody(Kind k, bool basic)
 std::string
 senderProgram(const ni::Model &model, Kind kind, unsigned count)
 {
-    bool reg = model.placement == ni::Placement::registerFile;
+    bool reg = model.policy().registerMapped();
     bool basic = !model.optimized;
     SendFields f = fieldsFor(kind);
 

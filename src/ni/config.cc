@@ -1,38 +1,65 @@
 #include "ni/config.hh"
 
+#include "common/logging.hh"
+#include "ni/placement_policy.hh"
+
 namespace tcpni
 {
 namespace ni
 {
 
-std::string
-placementName(Placement p)
+const PlacementPolicy &
+NiConfig::policy() const
 {
-    switch (p) {
-      case Placement::offChipCache: return "Off-chip Cache";
-      case Placement::onChipCache: return "On-chip Cache";
-      case Placement::registerFile: return "Register Mapped";
+    return placementPolicy(placement);
+}
+
+Cycles
+NiConfig::loadUseDelay() const
+{
+    return policy().loadUseDelay(*this);
+}
+
+void
+NiConfig::validate() const
+{
+    if (inputQueueDepth == 0)
+        fatal("NiConfig: inputQueueDepth must be nonzero");
+    if (outputQueueDepth == 0)
+        fatal("NiConfig: outputQueueDepth must be nonzero");
+    if (inputThreshold > inputQueueDepth) {
+        fatal("NiConfig: inputThreshold (%u) exceeds inputQueueDepth (%u); "
+              "iafull would never raise", inputThreshold, inputQueueDepth);
     }
-    return "?";
+    if (outputThreshold > outputQueueDepth) {
+        fatal("NiConfig: outputThreshold (%u) exceeds outputQueueDepth (%u); "
+              "oafull would never raise", outputThreshold, outputQueueDepth);
+    }
+}
+
+const PlacementPolicy &
+Model::policy() const
+{
+    return placementPolicy(placement);
 }
 
 std::string
 Model::name() const
 {
     return std::string(optimized ? "Optimized " : "Basic ") +
-           placementName(placement);
+           policy().name();
 }
 
 std::string
 Model::shortName() const
 {
-    std::string p;
-    switch (placement) {
-      case Placement::offChipCache: p = "off"; break;
-      case Placement::onChipCache: p = "on"; break;
-      case Placement::registerFile: p = "reg"; break;
-    }
-    return p + (optimized ? "-opt" : "-basic");
+    return policy().shortName() + (optimized ? "-opt" : "-basic");
+}
+
+std::string
+placementName(Placement p)
+{
+    return placementPolicy(p).name();
 }
 
 } // namespace ni

@@ -8,12 +8,16 @@
  * { off-chip cache, on-chip cache, register-file } placement with
  * { basic, optimized } feature sets.  For the ablation benchmarks the
  * individual optimizations can also be toggled independently.
+ *
+ * Everything that *differs by placement* (access latency, addressing
+ * mode, folded NI commands, kernel sequence selection) lives behind
+ * the PlacementPolicy interface (placement_policy.hh); the model set
+ * itself is extensible through the registry (model_registry.hh).
  */
 
 #ifndef TCPNI_NI_CONFIG_HH
 #define TCPNI_NI_CONFIG_HH
 
-#include <array>
 #include <cstdint>
 #include <string>
 
@@ -23,6 +27,8 @@ namespace tcpni
 {
 namespace ni
 {
+
+class PlacementPolicy;
 
 /** Where the interface sits relative to the processor (Section 3). */
 enum class Placement : uint8_t
@@ -71,15 +77,9 @@ struct NiConfig
 
     /**
      * Extra load-use delay cycles the processor sees on a load from
-     * this interface (Section 3.1: two cycles for the off-chip NIC on
-     * an 88100; Section 4.2.3 studies raising it to 8).
+     * this interface; placement-dependent (see PlacementPolicy).
      */
-    Cycles
-    loadUseDelay() const
-    {
-        return placement == Placement::offChipCache ? offChipLoadUseDelay
-                                                    : 0;
-    }
+    Cycles loadUseDelay() const;
 
     /** Off-chip read latency knob for the Section 4.2.3 sensitivity. */
     Cycles offChipLoadUseDelay = 2;
@@ -87,13 +87,31 @@ struct NiConfig
     /** Emit an inform() line for every message sent and received
      *  (suppressed when logging::quiet is set). */
     bool traceMessages = false;
+
+    /** The placement-policy implementation for this configuration. */
+    const PlacementPolicy &policy() const;
+
+    /**
+     * Check the configuration's internal consistency: queue depths
+     * must be nonzero and thresholds must not exceed the depths (a
+     * threshold above its queue depth silently produces an interface
+     * that never raises iafull/oafull).  fatal()s on violation;
+     * called at System construction.
+     */
+    void validate() const;
 };
 
-/** One of the paper's six evaluation models. */
+/** One evaluation model: a placement plus a feature set.  The paper's
+ *  six models use the default off-chip latency; registry extensions
+ *  (the Section 4.2.3 "far off-chip" variant) parameterize it. */
 struct Model
 {
     Placement placement;
     bool optimized;
+
+    /** Off-chip load-use delay this model's config carries (2 is the
+     *  paper's 88100 value; Section 4.2.3 studies up to 8). */
+    Cycles offchipLoadUseDelay = 2;
 
     NiConfig
     config() const
@@ -101,26 +119,28 @@ struct Model
         NiConfig c;
         c.placement = placement;
         c.features = optimized ? Features::optimized() : Features::basic();
+        c.offChipLoadUseDelay = offchipLoadUseDelay;
         return c;
     }
+
+    /** A copy of this model with a different off-chip latency (the
+     *  Section 4.2.3 parameterization). */
+    Model
+    withOffchipDelay(Cycles d) const
+    {
+        Model m = *this;
+        m.offchipLoadUseDelay = d;
+        return m;
+    }
+
+    /** The placement-policy implementation for this model. */
+    const PlacementPolicy &policy() const;
 
     std::string name() const;
     std::string shortName() const;
 };
 
-/** The six models in the paper's column order (optimized first). */
-constexpr std::array<Model, 6> allModels()
-{
-    return {{
-        {Placement::registerFile, true},
-        {Placement::onChipCache, true},
-        {Placement::offChipCache, true},
-        {Placement::registerFile, false},
-        {Placement::onChipCache, false},
-        {Placement::offChipCache, false},
-    }};
-}
-
+/** Canonical placement name, from the placement policy. */
 std::string placementName(Placement p);
 
 } // namespace ni

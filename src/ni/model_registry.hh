@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The evaluation-model registry: the single authority for which
+ * (placement, feature-set) models exist, replacing the hardwired
+ * allModels() six-tuple.  Benchmarks, tests, and tcpni_lint iterate
+ * the registry, so adding a model is one registration — no driver or
+ * tool edits.
+ *
+ * The paper's six models (three placements x {basic, optimized}) are
+ * always registered.  Building with -DTCPNI_EXTRA_MODELS=ON also
+ * registers the Section 4.2.3 "far off-chip" variant (off-chip
+ * placement with load-use delay 8), demonstrating that a new model
+ * flows through every consumer without further code changes.
+ */
+
+#ifndef TCPNI_NI_MODEL_REGISTRY_HH
+#define TCPNI_NI_MODEL_REGISTRY_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "ni/config.hh"
+
+namespace tcpni
+{
+namespace ni
+{
+
+/** One registry entry: canonical names plus the model they denote. */
+struct ModelInfo
+{
+    std::string name;       //!< e.g. "Optimized Register Mapped"
+    std::string shortName;  //!< e.g. "reg-opt" (CLI --model tag)
+    std::string tableLabel; //!< e.g. "Opt Reg" (bench table column)
+    Model model;
+};
+
+class ModelRegistry
+{
+  public:
+    /** The process-wide registry, seeded with the paper's six models
+     *  (and the far-off-chip variant under TCPNI_EXTRA_MODELS). */
+    static ModelRegistry &instance();
+
+    /** Register a model under its canonical names.  fatal()s on a
+     *  duplicate name or shortName. */
+    void add(ModelInfo info);
+
+    /** All registered models, in registration order. */
+    const std::vector<ModelInfo> &all() const { return entries_; }
+
+    /** Look up by name or shortName; nullptr when absent. */
+    const ModelInfo *find(const std::string &name_or_short) const;
+
+    size_t size() const { return entries_.size(); }
+
+  private:
+    ModelRegistry();
+
+    std::vector<ModelInfo> entries_;
+};
+
+/** Shorthand for ModelRegistry::instance().all(). */
+const std::vector<ModelInfo> &registeredModels();
+
+/**
+ * The paper's six models in the evaluation's canonical order
+ * (optimized reg/on/off, then basic reg/on/off) — the fixed set the
+ * golden outputs are pinned to, independent of registry extensions.
+ */
+const std::array<Model, 6> &paperModels();
+
+} // namespace ni
+} // namespace tcpni
+
+#endif // TCPNI_NI_MODEL_REGISTRY_HH

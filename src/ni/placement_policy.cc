@@ -1,0 +1,93 @@
+#include "ni/placement_policy.hh"
+
+#include "common/logging.hh"
+
+namespace tcpni
+{
+namespace ni
+{
+
+namespace
+{
+
+/** Section 3.1: the interface on the external cache bus.  Reads cross
+ *  the chip boundary, so loads carry the configurable off-chip
+ *  load-use delay. */
+class OffChipCachePolicy final : public PlacementPolicy
+{
+  public:
+    Placement kind() const override { return Placement::offChipCache; }
+    std::string name() const override { return "Off-chip Cache"; }
+    std::string shortName() const override { return "off"; }
+    std::string columnLabel() const override { return "Off-chip"; }
+    Addressing addressing() const override
+    {
+        return Addressing::memoryMapped;
+    }
+    bool foldedNiCommands() const override { return false; }
+    Cycles
+    loadUseDelay(const NiConfig &cfg) const override
+    {
+        return cfg.offChipLoadUseDelay;
+    }
+    bool directCompose() const override { return false; }
+    bool optimizedKernelHasEscape() const override { return false; }
+};
+
+/** Section 3.2: the interface on the internal cache bus.  Same
+ *  load/store addressing, but reads complete at cache speed. */
+class OnChipCachePolicy final : public PlacementPolicy
+{
+  public:
+    Placement kind() const override { return Placement::onChipCache; }
+    std::string name() const override { return "On-chip Cache"; }
+    std::string shortName() const override { return "on"; }
+    std::string columnLabel() const override { return "On-chip"; }
+    Addressing addressing() const override
+    {
+        return Addressing::memoryMapped;
+    }
+    bool foldedNiCommands() const override { return false; }
+    Cycles loadUseDelay(const NiConfig &) const override { return 0; }
+    bool directCompose() const override { return false; }
+    bool optimizedKernelHasEscape() const override { return false; }
+};
+
+/** Section 3.3: interface registers aliased into the register file;
+ *  NI commands fold into instruction bits and values can be computed
+ *  directly into the output registers. */
+class RegisterFilePolicy final : public PlacementPolicy
+{
+  public:
+    Placement kind() const override { return Placement::registerFile; }
+    std::string name() const override { return "Register Mapped"; }
+    std::string shortName() const override { return "reg"; }
+    std::string columnLabel() const override { return "Reg"; }
+    Addressing addressing() const override
+    {
+        return Addressing::registerFile;
+    }
+    bool foldedNiCommands() const override { return true; }
+    Cycles loadUseDelay(const NiConfig &) const override { return 0; }
+    bool directCompose() const override { return true; }
+    bool optimizedKernelHasEscape() const override { return true; }
+};
+
+} // namespace
+
+const PlacementPolicy &
+placementPolicy(Placement p)
+{
+    static const OffChipCachePolicy off_chip;
+    static const OnChipCachePolicy on_chip;
+    static const RegisterFilePolicy reg_file;
+    switch (p) {
+      case Placement::offChipCache: return off_chip;
+      case Placement::onChipCache: return on_chip;
+      case Placement::registerFile: return reg_file;
+    }
+    panic("unknown placement %d", static_cast<int>(p));
+}
+
+} // namespace ni
+} // namespace tcpni

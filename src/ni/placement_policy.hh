@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The placement-policy layer: everything that differs between the
+ * paper's three NI placements (Section 3) expressed as one small
+ * interface, so that the CPU coupling, the kernel library, the Table-1
+ * cost model, and the static verifier never branch on the raw
+ * Placement enum.
+ *
+ * A policy answers four questions about its placement:
+ *
+ *  - addressing: are the NI registers aliased into the processor's
+ *    register file, or reached through a memory-mapped command window?
+ *    This is also the kernel-library's instruction-sequence selection
+ *    hook: msg/kernels.cc picks the register-operand or load/store
+ *    handler and sender sequences from it.
+ *  - folded commands: can SEND / NEXT / REPLY / FORWARD be encoded as
+ *    instruction bits (`!send`, `!next`) instead of command-window
+ *    accesses?  (Section 2.1's register-file coupling only.)
+ *  - access latency: how many extra load-use delay cycles does the
+ *    processor see on a read from the interface?
+ *  - composition: can a compiler compute message values straight into
+ *    the output registers (the lower bound of the paper's sending-cost
+ *    ranges), and does the optimized handler set carry an escape
+ *    dispatch table for >4-bit identifiers?
+ *
+ * Adding a placement means writing one policy implementation here and
+ * registering a model in model_registry.cc; no other layer changes.
+ */
+
+#ifndef TCPNI_NI_PLACEMENT_POLICY_HH
+#define TCPNI_NI_PLACEMENT_POLICY_HH
+
+#include <string>
+
+#include "ni/config.hh"
+
+namespace tcpni
+{
+namespace ni
+{
+
+/** How the processor addresses the interface registers. */
+enum class Addressing : uint8_t
+{
+    registerFile,   //!< NI registers aliased into the GPR file
+    memoryMapped,   //!< loads/stores into the NI command window
+};
+
+class PlacementPolicy
+{
+  public:
+    virtual ~PlacementPolicy() = default;
+
+    /** The placement this policy implements. */
+    virtual Placement kind() const = 0;
+
+    /** Canonical placement name ("Register Mapped", ...). */
+    virtual std::string name() const = 0;
+
+    /** Canonical short tag ("reg", "on", "off"). */
+    virtual std::string shortName() const = 0;
+
+    /** Canonical table-column label ("Reg", "On-chip", "Off-chip"). */
+    virtual std::string columnLabel() const = 0;
+
+    /**
+     * Addressing mode; also the kernel instruction-sequence selection
+     * hook (msg/kernels.cc emits register-operand sequences for
+     * registerFile and load/store sequences for memoryMapped).
+     */
+    virtual Addressing addressing() const = 0;
+
+    /** NI registers live in the register file? */
+    bool
+    registerMapped() const
+    {
+        return addressing() == Addressing::registerFile;
+    }
+
+    /** SEND/NEXT/REPLY/FORWARD encodable as instruction bits
+     *  (Section 2.1); otherwise they are command-window accesses. */
+    virtual bool foldedNiCommands() const = 0;
+
+    /**
+     * Extra load-use delay cycles the processor sees on a read from
+     * this interface, given the configuration's off-chip latency knob
+     * (Section 3.1: two cycles on an 88100; Section 4.2.3 raises it).
+     */
+    virtual Cycles loadUseDelay(const NiConfig &cfg) const = 0;
+
+    /** Can a compiler compute message values directly into the output
+     *  registers (lower bound of the paper's sending ranges)? */
+    virtual bool directCompose() const = 0;
+
+    /** Does the optimized handler set dispatch >4-bit identifiers
+     *  through an escape table (Section 2.2.1)? */
+    virtual bool optimizedKernelHasEscape() const = 0;
+};
+
+/** The policy implementation for @p p (a process-lifetime singleton). */
+const PlacementPolicy &placementPolicy(Placement p);
+
+} // namespace ni
+} // namespace tcpni
+
+#endif // TCPNI_NI_PLACEMENT_POLICY_HH

@@ -11,6 +11,7 @@ Node::Node(const std::string &name, EventQueue &eq, NodeId id,
            Network &net, const NodeConfig &cfg)
     : id_(id)
 {
+    cfg.ni.validate();
     mem_ = std::make_unique<Memory>(cfg.memBytes);
     ni_ = std::make_unique<ni::NetworkInterface>(name + ".ni", eq, id,
                                                  net, cfg.ni);

@@ -1,6 +1,7 @@
 #include "tam/expand.hh"
 
 #include "cost/table1.hh"
+#include "ni/placement_policy.hh"
 
 namespace tcpni
 {
@@ -28,17 +29,16 @@ WorkCostModel::default88100()
 }
 
 CommCosts
-measureCommCosts(const ni::Model &model, Cycles offchip_delay,
-                 bool basic_sw_checks)
+measureCommCosts(const ni::Model &model, bool basic_sw_checks)
 {
     using cost::ProcCase;
     using msg::Kind;
 
-    cost::Table1Harness h(model, offchip_delay, basic_sw_checks);
+    cost::Table1Harness h(model, basic_sw_checks);
 
     auto send_cost = [&](Kind k) {
         double copy = h.sendingCost(k);
-        if (model.placement == ni::Placement::registerFile) {
+        if (model.policy().directCompose()) {
             // Midpoint of the paper's range: some values are computed
             // directly into the output registers.
             copy -= msg::directlyComputableWords(k) / 2.0;

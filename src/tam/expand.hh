@@ -79,10 +79,10 @@ struct CommCosts
  * Section 4.1).  Basic models' dispatch includes the software
  * queue-threshold checks a deployed basic interface performs
  * (Section 2.2.4); pass @p basic_sw_checks = false for the raw
- * Table-1 dispatch costs.
+ * Table-1 dispatch costs.  The off-chip load-use delay comes from the
+ * model itself (Model::withOffchipDelay for the Section 4.2.3 sweep).
  */
 CommCosts measureCommCosts(const ni::Model &model,
-                           Cycles offchip_delay = 2,
                            bool basic_sw_checks = true);
 
 /** One bar of Figure 12, in cycles. */

@@ -5,6 +5,7 @@
 #include "common/bitfield.hh"
 #include "msg/protocol.hh"
 #include "ni/ni_regs.hh"
+#include "ni/placement_policy.hh"
 
 namespace tcpni
 {
@@ -26,7 +27,7 @@ requiredTypes(const ni::Model &model)
         msg::typeRead, msg::typeWrite, msg::typePRead, msg::typePWrite,
         msg::typeAck, msg::typeStop,
     };
-    if (model.optimized && model.placement == ni::Placement::registerFile)
+    if (model.optimized && model.policy().optimizedKernelHasEscape())
         types.insert(msg::typeEscape);
     return types;
 }
@@ -123,7 +124,7 @@ SetupScan
 scanSetup(const isa::Program &prog, const ni::Model &model, Addr entry)
 {
     SetupScan scan;
-    bool reg_mapped = model.placement == ni::Placement::registerFile;
+    bool reg_mapped = model.policy().registerMapped();
 
     size_t idx = prog.indexOf(entry);
     bool in_delay = false;

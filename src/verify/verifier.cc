@@ -9,6 +9,7 @@
 
 #include "msg/protocol.hh"
 #include "ni/ni_regs.hh"
+#include "ni/placement_policy.hh"
 
 namespace tcpni
 {
@@ -602,7 +603,7 @@ hazardScan(const isa::Program &prog, const ni::Model &model,
            const std::set<size_t> &ni_loads, Report &rep)
 {
     unsigned ni_delay = model.config().loadUseDelay();
-    bool reg_mapped = model.placement == ni::Placement::registerFile;
+    bool reg_mapped = model.policy().registerMapped();
 
     // Pessimistic block boundaries: every root entry and branch target
     // resets the pipeline model.
@@ -678,7 +679,7 @@ verify(const isa::Program &prog, const ni::Model &model,
        const Contract &contract, const VerifyOptions &opts)
 {
     Report rep = contract.diags;
-    bool reg_mapped = model.placement == ni::Placement::registerFile;
+    bool reg_mapped = model.policy().registerMapped();
     std::set<size_t> visited;
     std::set<size_t> ni_loads;
 

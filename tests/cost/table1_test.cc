@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "cost/table1.hh"
+#include "ni/model_registry.hh"
 
 using namespace tcpni;
 using namespace tcpni::cost;
@@ -17,7 +18,7 @@ harness(size_t model_idx)
     static std::array<std::unique_ptr<Table1Harness>, 6> cache;
     if (!cache[model_idx]) {
         cache[model_idx] = std::make_unique<Table1Harness>(
-            ni::allModels()[model_idx]);
+            ni::paperModels()[model_idx]);
     }
     return *cache[model_idx];
 }
@@ -57,7 +58,7 @@ TEST(Table1Exact, ReadProcessingRow)
         EXPECT_DOUBLE_EQ(
             harness(i).processingCost(ProcCase::read).processing,
             expect[i])
-            << ni::allModels()[i].name();
+            << ni::paperModels()[i].name();
     }
 }
 
@@ -66,7 +67,7 @@ TEST(Table1Exact, ReadSendingRow)
     const double expect[6] = {3, 4, 4, 4, 6, 6};    // copy variant
     for (size_t i = 0; i < 6; ++i) {
         EXPECT_DOUBLE_EQ(harness(i).sendingCost(Kind::read), expect[i])
-            << ni::allModels()[i].name();
+            << ni::paperModels()[i].name();
     }
 }
 
@@ -137,7 +138,7 @@ TEST_P(Table1Sweep, AllCellsWithinTolerance)
 INSTANTIATE_TEST_SUITE_P(
     Models, Table1Sweep, ::testing::Values(0u, 1u, 2u, 3u, 4u, 5u),
     [](const ::testing::TestParamInfo<size_t> &info) {
-        std::string n = ni::allModels()[info.param].shortName();
+        std::string n = ni::paperModels()[info.param].shortName();
         for (char &c : n) {
             if (c == '-')
                 c = '_';
@@ -157,7 +158,7 @@ TEST(Table1Shape, OptimizedBeatsBasicEverywhere)
         ProcCost bas = harness(i + 3).processingCost(ProcCase::read);
         EXPECT_LT(opt.dispatching + opt.processing,
                   bas.dispatching + bas.processing)
-            << ni::allModels()[i].name();
+            << ni::paperModels()[i].name();
     }
 }
 
@@ -204,14 +205,14 @@ TEST(Table1Shape, OffChipLatencySensitivity)
     // Section 4.2.3 claim C: raising the off-chip read latency from 2
     // to 8 cycles substantially increases off-chip costs while leaving
     // the register-mapped model untouched.
-    Table1Harness off2(ni::allModels()[optOff], 2);
-    Table1Harness off8(ni::allModels()[optOff], 8);
+    Table1Harness off2(ni::paperModels()[optOff].withOffchipDelay(2));
+    Table1Harness off8(ni::paperModels()[optOff].withOffchipDelay(8));
     double p2 = off2.processingCost(ProcCase::read).processing;
     double p8 = off8.processingCost(ProcCase::read).processing;
     EXPECT_GT(p8, p2 + 3);
 
-    Table1Harness reg2(ni::allModels()[optReg], 2);
-    Table1Harness reg8(ni::allModels()[optReg], 8);
+    Table1Harness reg2(ni::paperModels()[optReg].withOffchipDelay(2));
+    Table1Harness reg8(ni::paperModels()[optReg].withOffchipDelay(8));
     EXPECT_DOUBLE_EQ(reg2.processingCost(ProcCase::read).processing,
                      reg8.processingCost(ProcCase::read).processing);
 }
@@ -220,8 +221,8 @@ TEST(Table1Overlap, NextMsgIpHidesDispatchLatency)
 {
     // Section 2.2.3: without the NextMsgIp overlap, the MsgIp read's
     // latency and the jump's delay slot are exposed in dispatch.
-    Table1Harness with(ni::allModels()[2], 2, false, false);
-    Table1Harness without(ni::allModels()[2], 2, false, true);
+    Table1Harness with(ni::paperModels()[2], false, false);
+    Table1Harness without(ni::paperModels()[2], false, true);
     double d_with = with.processingCost(ProcCase::read).dispatching;
     double d_without =
         without.processingCost(ProcCase::read).dispatching;
@@ -229,8 +230,8 @@ TEST(Table1Overlap, NextMsgIpHidesDispatchLatency)
     EXPECT_DOUBLE_EQ(d_without, 5.0);   // ld + 2 stalls + jmp + nop
 
     // On-chip: only the unfillable delay slot is exposed.
-    Table1Harness on_with(ni::allModels()[1], 2, false, false);
-    Table1Harness on_without(ni::allModels()[1], 2, false, true);
+    Table1Harness on_with(ni::paperModels()[1], false, false);
+    Table1Harness on_without(ni::paperModels()[1], false, true);
     EXPECT_DOUBLE_EQ(
         on_with.processingCost(ProcCase::read).dispatching, 2.0);
     EXPECT_DOUBLE_EQ(
@@ -241,8 +242,8 @@ TEST(Table1Overlap, ProcessingUnaffectedByOverlapChoice)
 {
     // The overlap is purely a dispatch-side optimization: the handler
     // bodies do the same work.
-    Table1Harness with(ni::allModels()[1], 2, false, false);
-    Table1Harness without(ni::allModels()[1], 2, false, true);
+    Table1Harness with(ni::paperModels()[1], false, false);
+    Table1Harness without(ni::paperModels()[1], false, true);
     for (ProcCase c : {ProcCase::read, ProcCase::write,
                        ProcCase::preadFull, ProcCase::preadEmpty,
                        ProcCase::pwriteEmpty}) {

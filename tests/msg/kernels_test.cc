@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "cpu/cpu.hh"
 #include "msg/kernels.hh"
+#include "ni/model_registry.hh"
 #include "msg/protocol.hh"
 #include "ni/network_interface.hh"
 #include "noc/network.hh"
@@ -291,7 +292,7 @@ TEST_P(KernelModels, MixedStream)
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    AllModels, KernelModels, ::testing::ValuesIn(ni::allModels()),
+    AllModels, KernelModels, ::testing::ValuesIn(ni::paperModels()),
     [](const ::testing::TestParamInfo<ni::Model> &info) {
         std::string n = info.param.shortName();
         for (char &c : n) {

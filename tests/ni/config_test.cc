@@ -1,0 +1,172 @@
+/**
+ * @file
+ * NiConfig::validate(), the placement-policy layer, and the model
+ * registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/logging.hh"
+#include "ni/config.hh"
+#include "ni/model_registry.hh"
+#include "ni/placement_policy.hh"
+
+using namespace tcpni;
+
+namespace
+{
+
+TEST(NiConfigValidate, DefaultConfigIsValid)
+{
+    ni::NiConfig cfg;
+    EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(NiConfigValidate, ThresholdEqualToDepthIsValid)
+{
+    // threshold == depth means "the full bit never raises" -- a legal
+    // stall-free configuration, not an error.
+    ni::NiConfig cfg;
+    cfg.inputQueueDepth = 4;
+    cfg.inputThreshold = 4;
+    cfg.outputQueueDepth = 4;
+    cfg.outputThreshold = 4;
+    EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(NiConfigValidate, RejectsInputThresholdAboveDepth)
+{
+    ni::NiConfig cfg;
+    cfg.inputQueueDepth = 4;
+    cfg.inputThreshold = 5;
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(NiConfigValidate, RejectsOutputThresholdAboveDepth)
+{
+    ni::NiConfig cfg;
+    cfg.outputQueueDepth = 8;
+    cfg.outputThreshold = 9;
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(NiConfigValidate, RejectsZeroInputDepth)
+{
+    ni::NiConfig cfg;
+    cfg.inputQueueDepth = 0;
+    cfg.inputThreshold = 0;
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(NiConfigValidate, RejectsZeroOutputDepth)
+{
+    ni::NiConfig cfg;
+    cfg.outputQueueDepth = 0;
+    cfg.outputThreshold = 0;
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(PlacementPolicy, SingletonsMatchPlacement)
+{
+    for (ni::Placement p : {ni::Placement::offChipCache,
+                            ni::Placement::onChipCache,
+                            ni::Placement::registerFile}) {
+        EXPECT_EQ(ni::placementPolicy(p).kind(), p);
+    }
+}
+
+TEST(PlacementPolicy, AddressingAndFolding)
+{
+    const auto &reg = ni::placementPolicy(ni::Placement::registerFile);
+    EXPECT_TRUE(reg.registerMapped());
+    EXPECT_TRUE(reg.foldedNiCommands());
+    EXPECT_TRUE(reg.directCompose());
+    EXPECT_TRUE(reg.optimizedKernelHasEscape());
+
+    for (ni::Placement p : {ni::Placement::offChipCache,
+                            ni::Placement::onChipCache}) {
+        const auto &pol = ni::placementPolicy(p);
+        EXPECT_FALSE(pol.registerMapped());
+        EXPECT_FALSE(pol.foldedNiCommands());
+        EXPECT_FALSE(pol.directCompose());
+        EXPECT_FALSE(pol.optimizedKernelHasEscape());
+    }
+}
+
+TEST(PlacementPolicy, LoadUseDelayTracksConfig)
+{
+    ni::NiConfig cfg;
+    cfg.placement = ni::Placement::offChipCache;
+    cfg.offChipLoadUseDelay = 8;
+    EXPECT_EQ(cfg.loadUseDelay(), 8u);
+
+    cfg.placement = ni::Placement::onChipCache;
+    EXPECT_EQ(cfg.loadUseDelay(), 0u);
+    cfg.placement = ni::Placement::registerFile;
+    EXPECT_EQ(cfg.loadUseDelay(), 0u);
+}
+
+TEST(ModelRegistry, PaperModelsComeFirstInPaperOrder)
+{
+    const auto &models = ni::registeredModels();
+    ASSERT_GE(models.size(), 6u);
+    const auto &paper = ni::paperModels();
+    for (size_t i = 0; i < paper.size(); ++i) {
+        EXPECT_EQ(models[i].model.placement, paper[i].placement);
+        EXPECT_EQ(models[i].model.optimized, paper[i].optimized);
+        EXPECT_EQ(models[i].name, paper[i].name());
+        EXPECT_EQ(models[i].shortName, paper[i].shortName());
+    }
+}
+
+TEST(ModelRegistry, FindByNameAndShortName)
+{
+    const ni::ModelInfo *by_short =
+        ni::ModelRegistry::instance().find("reg-opt");
+    ASSERT_NE(by_short, nullptr);
+    EXPECT_EQ(by_short->model.placement, ni::Placement::registerFile);
+    EXPECT_TRUE(by_short->model.optimized);
+
+    const ni::ModelInfo *by_name =
+        ni::ModelRegistry::instance().find(by_short->name);
+    EXPECT_EQ(by_name, by_short);
+
+    EXPECT_EQ(ni::ModelRegistry::instance().find("no-such-model"),
+              nullptr);
+}
+
+TEST(ModelRegistry, NamesAreUnique)
+{
+    std::set<std::string> names, shorts;
+    for (const ni::ModelInfo &info : ni::registeredModels()) {
+        EXPECT_TRUE(names.insert(info.name).second)
+            << "duplicate name " << info.name;
+        EXPECT_TRUE(shorts.insert(info.shortName).second)
+            << "duplicate short name " << info.shortName;
+    }
+}
+
+#ifdef TCPNI_EXTRA_MODELS
+TEST(ModelRegistry, FarOffchipVariantRegistered)
+{
+    const ni::ModelInfo *far =
+        ni::ModelRegistry::instance().find("faroff-opt");
+    ASSERT_NE(far, nullptr);
+    EXPECT_EQ(far->model.placement, ni::Placement::offChipCache);
+    EXPECT_TRUE(far->model.optimized);
+    EXPECT_EQ(far->model.offchipLoadUseDelay, 8u);
+}
+#endif
+
+TEST(ModelNames, DelegateToPolicyCanonicalNames)
+{
+    ni::Model m{ni::Placement::onChipCache, false};
+    EXPECT_EQ(m.name(), "Basic On-chip Cache");
+    EXPECT_EQ(m.shortName(), "on-basic");
+    EXPECT_EQ(ni::placementName(ni::Placement::onChipCache),
+              "On-chip Cache");
+}
+
+} // namespace

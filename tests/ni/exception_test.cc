@@ -58,6 +58,8 @@ TEST(ExceptionDispatch, OutputOverflowReachesType1Handler)
     cfg.ni.placement = ni::Placement::registerFile;
     cfg.ni.outputQueueDepth = 4;
     cfg.ni.inputQueueDepth = 4;
+    cfg.ni.outputThreshold = 4;     // == depth: never raises
+    cfg.ni.inputThreshold = 4;
     sys::System machine("exc", 2, 1, cfg);
 
     // Node 1's CPU never starts: its input queue fills, the mesh backs
@@ -96,6 +98,8 @@ TEST(ExceptionDispatch, StallPolicyNeverRaises)
     cfg.ni.placement = ni::Placement::registerFile;
     cfg.ni.outputQueueDepth = 4;
     cfg.ni.inputQueueDepth = 4;
+    cfg.ni.outputThreshold = 4;     // == depth: never raises
+    cfg.ni.inputThreshold = 4;
     sys::System machine("stall", 2, 1, cfg);
 
     isa::Program prog = msg::assembleKernel(R"(

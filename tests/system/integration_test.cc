@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "msg/kernels.hh"
+#include "ni/model_registry.hh"
 #include "msg/protocol.hh"
 #include "system/system.hh"
 
@@ -107,7 +108,7 @@ TEST_P(SystemModels, ReadRoundTripOverMesh)
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    AllModels, SystemModels, ::testing::ValuesIn(ni::allModels()),
+    AllModels, SystemModels, ::testing::ValuesIn(ni::paperModels()),
     [](const ::testing::TestParamInfo<ni::Model> &info) {
         std::string n = info.param.shortName();
         for (char &c : n) {
@@ -184,8 +185,10 @@ TEST(SystemIntegration, BackpressurePreservesEveryMessage)
     // lost and the sender observes SEND stalls.
     NodeConfig sender = nodeCfg(ni::Placement::registerFile, true);
     sender.ni.outputQueueDepth = 2;
+    sender.ni.outputThreshold = 2;      // == depth: oafull never raises
     NodeConfig receiver = sender;
     receiver.ni.inputQueueDepth = 2;
+    receiver.ni.inputThreshold = 2;
     System machine("flood", 2, 1, {sender, receiver});
 
     // Receiver: count type-2 messages at 0x600 with a slow handler.

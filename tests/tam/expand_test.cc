@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "ni/model_registry.hh"
 #include "tam/expand.hh"
 
 using namespace tcpni;
@@ -15,7 +16,7 @@ costs(size_t model_idx)
     static std::array<std::unique_ptr<CommCosts>, 6> cache;
     if (!cache[model_idx]) {
         cache[model_idx] = std::make_unique<CommCosts>(
-            measureCommCosts(ni::allModels()[model_idx]));
+            measureCommCosts(ni::paperModels()[model_idx]));
     }
     return *cache[model_idx];
 }
@@ -130,10 +131,14 @@ TEST(Expand, OffChipDelayRaisesOffChipCommOnly)
     s.msgs[static_cast<size_t>(MsgKind::read)] = 100;
     s.replies = 100;
 
-    CommCosts off2 = measureCommCosts(ni::allModels()[2], 2);
-    CommCosts off8 = measureCommCosts(ni::allModels()[2], 8);
-    CommCosts reg2 = measureCommCosts(ni::allModels()[0], 2);
-    CommCosts reg8 = measureCommCosts(ni::allModels()[0], 8);
+    CommCosts off2 = measureCommCosts(
+        ni::paperModels()[2].withOffchipDelay(2));
+    CommCosts off8 = measureCommCosts(
+        ni::paperModels()[2].withOffchipDelay(8));
+    CommCosts reg2 = measureCommCosts(
+        ni::paperModels()[0].withOffchipDelay(2));
+    CommCosts reg8 = measureCommCosts(
+        ni::paperModels()[0].withOffchipDelay(8));
 
     double c_off2 = expand(s, off2).dispatch + expand(s, off2).otherComm;
     double c_off8 = expand(s, off8).dispatch + expand(s, off8).otherComm;

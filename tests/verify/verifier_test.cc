@@ -19,6 +19,7 @@
 #include "isa/assembler.hh"
 #include "msg/kernels.hh"
 #include "ni/config.hh"
+#include "ni/model_registry.hh"
 #include "ni/ni_regs.hh"
 #include "verify/verifier.hh"
 
@@ -31,7 +32,7 @@ namespace
 ni::Model
 model(const std::string &short_name)
 {
-    for (const ni::Model &m : ni::allModels()) {
+    for (const ni::Model &m : ni::paperModels()) {
         if (m.shortName() == short_name)
             return m;
     }
@@ -93,7 +94,7 @@ dump(const v::Report &rep)
 
 TEST(LintShipped, AllKernelsCleanUnderWerror)
 {
-    for (const ni::Model &m : ni::allModels()) {
+    for (const ni::Model &m : ni::paperModels()) {
         std::vector<std::pair<std::string, std::string>> handlers;
         if (m.optimized) {
             handlers.emplace_back("handlers", msg::handlerProgram(m));

@@ -10,7 +10,8 @@
  *   tcpni_lint [--Werror] [--model NAME] [--notes] [--list] [-v]
  *
  *   --Werror      treat warnings as failures
- *   --model NAME  lint a single model (short name, e.g. "reg-opt")
+ *   --model NAME  lint a single registered model (registry name or
+ *                 short name, e.g. "reg-opt")
  *   --notes       print load-use hazard notes (hidden by default)
  *   --list        list the kernels that would be linted, then exit
  *   -v            print a line per kernel even when clean
@@ -23,7 +24,8 @@
 
 #include "common/logging.hh"
 #include "msg/kernels.hh"
-#include "ni/config.hh"
+#include "ni/model_registry.hh"
+#include "ni/placement_policy.hh"
 #include "verify/verifier.hh"
 
 using namespace tcpni;
@@ -40,15 +42,16 @@ struct Job
 };
 
 std::vector<Job>
-jobsFor(const ni::Model &model)
+jobsFor(const ni::ModelInfo &info)
 {
+    const ni::Model &model = info.model;
     std::vector<Job> jobs;
-    std::string mname = model.shortName();
+    const std::string &mname = info.shortName;
 
     if (model.optimized) {
         jobs.push_back({mname + "/handlers", model,
                         msg::handlerProgram(model), false});
-        if (model.placement != ni::Placement::registerFile) {
+        if (!model.policy().registerMapped()) {
             jobs.push_back({mname + "/handlers-no-overlap", model,
                             msg::handlerProgram(model, false, true),
                             false});
@@ -107,11 +110,12 @@ main(int argc, char **argv)
 
     std::vector<Job> jobs;
     bool model_found = false;
-    for (const ni::Model &model : ni::allModels()) {
-        if (!only_model.empty() && model.shortName() != only_model)
+    for (const ni::ModelInfo &info : ni::registeredModels()) {
+        if (!only_model.empty() && info.shortName != only_model &&
+            info.name != only_model)
             continue;
         model_found = true;
-        for (Job &j : jobsFor(model))
+        for (Job &j : jobsFor(info))
             jobs.push_back(std::move(j));
     }
     if (!model_found) {
