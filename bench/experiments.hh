@@ -23,6 +23,7 @@ void registerFigure12(exp::ExperimentRegistry &reg);
 void registerAblation(exp::ExperimentRegistry &reg);
 void registerOffchipLatency(exp::ExperimentRegistry &reg);
 void registerHostPerf(exp::ExperimentRegistry &reg);
+void registerOnNi(exp::ExperimentRegistry &reg);
 
 /** Register every benchmark experiment. */
 inline void
@@ -33,6 +34,7 @@ registerAll(exp::ExperimentRegistry &reg)
     registerAblation(reg);
     registerOffchipLatency(reg);
     registerHostPerf(reg);
+    registerOnNi(reg);
 }
 
 } // namespace bench

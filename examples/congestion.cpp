@@ -27,12 +27,118 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
+#include <string>
 
 #include "common/logging.hh"
 #include "msg/kernels.hh"
+#include "msg/protocol.hh"
+#include "ni/placement_policy.hh"
 #include "system/system.hh"
 
 using namespace tcpni;
+
+namespace
+{
+
+/** An off-chip cache-mapped client: flood two-word Sends at node 1
+ *  through the memory-mapped interface window, then stop the server.
+ *  @p sendip is the server's two-word-Send inlet (optimized
+ *  interfaces dispatch type-0 messages through word 1). */
+std::string
+floodClient(unsigned flood, Addr sendip)
+{
+    return ".equ FLOOD, " + std::to_string(flood) +
+           "\n.equ SENDIP, " + std::to_string(sendip) + R"(
+    entry:
+        li   r10, NI_BASE
+        li   r1, (1 << NODE_SHIFT) | 0x2000
+        sti  r1, r10, NI_O0
+        li   r1, SENDIP
+        sti  r1, r10, NI_O1
+        li   r1, 0x11
+        sti  r1, r10, NI_O2
+        li   r1, 0x22
+        sti  r1, r10, NI_O3
+        li   r1, 8                 ; software id of the two-word Send
+        sti  r1, r10, NI_O4
+        lis  r2, FLOOD
+    flood:
+        ldi  r0, r10, NI_SEND      ; wire type 0
+        addi r2, r2, -1
+        bnez r2, flood
+        nop
+        li   r1, (1 << NODE_SHIFT)
+        sti  r1, r10, NI_O0
+        li   r1, T_STOP
+        sti  r1, r10, NI_O4
+        ldi  r0, r10, NI_SEND | NI_TYPE*T_STOP
+        halt
+    )";
+}
+
+/** Occupancy split for one mixed-vs-uniform variant run. */
+struct VariantResult
+{
+    bool ok = false;
+    uint64_t cpuHandler = 0;   //!< server CPU dispatch+processing
+    uint64_t hpuHandler = 0;   //!< server HPU dispatch+processing
+    uint64_t ticks = 0;
+};
+
+uint64_t
+handlerCycles(const std::map<std::string, uint64_t> &regions)
+{
+    uint64_t sum = 0;
+    for (const char *k : {"dispatching", "processing"}) {
+        auto it = regions.find(k);
+        if (it != regions.end())
+            sum += it->second;
+    }
+    return sum;
+}
+
+/** Run the flood against a server built from @p server_model, with an
+ *  off-chip cache-mapped client -- per-node interface configurations
+ *  are free to differ across the machine. */
+VariantResult
+runVariant(const ni::Model &server_model, unsigned flood)
+{
+    sys::NodeConfig client_cfg;
+    client_cfg.ni =
+        ni::Model{ni::Placement::offChipCache, true}.config();
+    sys::NodeConfig server_cfg;
+    server_cfg.ni = server_model.config();
+    sys::System machine("mixed", 2, 1, {client_cfg, server_cfg});
+
+    isa::Program server =
+        msg::assembleKernel(msg::handlerProgram(server_model));
+    machine.node(1).boot(server, server.addrOf("entry"));
+    machine.node(1).mem().write(msg::allocPtrAddr, 0x40000);
+    if (server_model.policy().handlersOnNi()) {
+        isa::Program host = msg::assembleKernel(
+            msg::hostProxyProgram(server_model));
+        machine.node(1).bootHost(host, host.addrOf("entry"));
+    }
+
+    isa::Program client = msg::assembleKernel(
+        floodClient(flood, server.addrOf("h_send2")));
+    machine.node(0).boot(client, client.addrOf("entry"));
+
+    VariantResult r;
+    bool quiesced = machine.run(1000000);
+    r.ok = quiesced &&
+           machine.node(1).mem().read(0x2000) == 0x11 &&
+           machine.node(1).mem().read(0x2004) == 0x22 &&
+           machine.node(1).ni().numReceived() == flood + 1;
+    r.cpuHandler = handlerCycles(machine.node(1).cpu().regionCycles());
+    if (Hpu *hpu = machine.node(1).hpu())
+        r.hpuHandler = handlerCycles(hpu->regionCycles());
+    r.ticks = machine.eventq().curTick();
+    return r;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -156,5 +262,37 @@ main(int argc, char **argv)
                 ok ? "OK: thresholds, handler variants, and "
                      "stall-on-full all engaged"
                    : "FAILED");
-    return ok ? 0 : 1;
+
+    // ---- heterogeneous configurations: mixed vs uniform ----
+    //
+    // Interface configurations are per node, so one machine can mix
+    // placements.  Re-run the flood against (a) a uniform fleet
+    // (off-chip server, off-chip client) and (b) a mixed one where
+    // only the congested server node pays for an On-NI interface: the
+    // same stock handler kernels then run on the server's HPU and the
+    // handler occupancy leaves its CPU entirely.
+    std::printf("\nmixed vs uniform fleet (40-message flood, "
+                "server handler cycles):\n");
+    VariantResult uniform = runVariant(
+        ni::Model{ni::Placement::offChipCache, true}, 40);
+    VariantResult mixed =
+        runVariant(ni::Model{ni::Placement::onNi, true}, 40);
+    std::printf("  uniform (off-chip server): CPU %llu  HPU %llu  "
+                "ticks %llu\n",
+                static_cast<unsigned long long>(uniform.cpuHandler),
+                static_cast<unsigned long long>(uniform.hpuHandler),
+                static_cast<unsigned long long>(uniform.ticks));
+    std::printf("  mixed   (On-NI server):    CPU %llu  HPU %llu  "
+                "ticks %llu\n",
+                static_cast<unsigned long long>(mixed.cpuHandler),
+                static_cast<unsigned long long>(mixed.hpuHandler),
+                static_cast<unsigned long long>(mixed.ticks));
+
+    bool ok2 = uniform.ok && mixed.ok && uniform.cpuHandler > 0 &&
+               mixed.cpuHandler == 0 && mixed.hpuHandler > 0;
+    std::printf("%s\n",
+                ok2 ? "OK: the mixed fleet moved the handler "
+                      "occupancy off the server CPU"
+                    : "FAILED (mixed-vs-uniform variant)");
+    return ok && ok2 ? 0 : 1;
 }

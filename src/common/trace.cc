@@ -38,6 +38,7 @@ constexpr FlagEntry flagTable[] = {
     {"NI", Flag::NI},           {"NOC", Flag::NOC},
     {"CPU", Flag::CPU},         {"DISPATCH", Flag::DISPATCH},
     {"EVENT", Flag::EVENT},     {"TAM", Flag::TAM},
+    {"HPU", Flag::HPU},
 };
 
 /** Apply TCPNI_TRACE once at program start. */
@@ -116,7 +117,7 @@ setFromString(const std::string &spec)
                 enable(f);
             } else {
                 warn("unknown trace flag '%s' ignored (known: NI NOC "
-                     "CPU DISPATCH EVENT TAM ALL)", token.c_str());
+                     "CPU DISPATCH EVENT TAM HPU ALL)", token.c_str());
                 all_known = false;
             }
         }
@@ -171,6 +172,9 @@ stageName(Stage s)
       case Stage::arrive: return "arrive";
       case Stage::dispatch: return "dispatch";
       case Stage::done: return "done";
+      case Stage::hpuStart: return "hpuStart";
+      case Stage::hpuEnd: return "hpuEnd";
+      case Stage::hpuOverrun: return "hpuOverrun";
     }
     return "?";
 }
@@ -287,12 +291,25 @@ TraceSink::writeChromeTrace(std::ostream &os) const
         std::vector<LifecycleEvent> evs = lifecycle(id);
         const LifecycleEvent *inject = nullptr, *arrive = nullptr;
         const LifecycleEvent *dispatch = nullptr, *done = nullptr;
+        const LifecycleEvent *hpu_start = nullptr, *hpu_end = nullptr;
         for (const LifecycleEvent &e : evs) {
             switch (e.stage) {
               case Stage::inject: if (!inject) inject = &e; break;
               case Stage::arrive: if (!arrive) arrive = &e; break;
               case Stage::dispatch: if (!dispatch) dispatch = &e; break;
               case Stage::done: if (!done) done = &e; break;
+              case Stage::hpuStart:
+                if (!hpu_start) hpu_start = &e;
+                break;
+              case Stage::hpuEnd: if (!hpu_end) hpu_end = &e; break;
+              case Stage::hpuOverrun: {
+                sep();
+                os << "{\"name\":\"budget_overrun\",\"cat\":\"msg\","
+                   << "\"ph\":\"i\",\"ts\":" << e.tick
+                   << ",\"pid\":0,\"tid\":" << e.node
+                   << ",\"s\":\"t\",\"args\":{\"id\":" << id << "}}";
+                break;
+              }
               case Stage::hop: {
                 // Instant event on the router's track.
                 sep();
@@ -305,6 +322,9 @@ TraceSink::writeChromeTrace(std::ostream &os) const
             }
         }
         uint8_t type = evs.empty() ? 0 : evs.front().type;
+        if (hpu_start && hpu_end)
+            slice("hpu_handler", hpu_start->tick, hpu_end->tick,
+                  hpu_end->node, id, type);
         if (inject && arrive)
             slice("network", inject->tick, arrive->tick, arrive->node,
                   id, type);

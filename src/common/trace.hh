@@ -53,9 +53,10 @@ enum class Flag : uint32_t
     DISPATCH = 1u << 3,  //!< MsgIp dispatch decisions
     EVENT = 1u << 4,     //!< event-queue activity
     TAM = 1u << 5,       //!< TAM protocol state transitions
+    HPU = 1u << 6,       //!< on-NI handler processing unit
 };
 
-constexpr uint32_t allFlagsMask = 0x3f;
+constexpr uint32_t allFlagsMask = 0x7f;
 
 namespace detail
 {
@@ -112,6 +113,9 @@ enum class Stage : uint8_t
     arrive,    //!< enqueued in the destination NI input queue
     dispatch,  //!< loaded into the input registers (handler start)
     done,      //!< consumed by NEXT (handler finished)
+    hpuStart,  //!< on-NI handler activation began on the HPU
+    hpuEnd,    //!< on-NI handler activation finished
+    hpuOverrun, //!< activation exceeded the HPU handler-time budget
 };
 
 const char *stageName(Stage s);

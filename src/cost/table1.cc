@@ -4,8 +4,10 @@
 
 #include "common/logging.hh"
 #include "cpu/cpu.hh"
+#include "hpu/hpu.hh"
 #include "msg/protocol.hh"
 #include "ni/network_interface.hh"
+#include "ni/placement_policy.hh"
 #include "noc/network.hh"
 
 namespace tcpni
@@ -204,9 +206,42 @@ Table1Harness::runServer(const std::vector<Message> &msgs,
     client_cfg.inputQueueDepth = 1024;
     ni::NetworkInterface ni0("ni0", eq, 0, net, client_cfg);
     ni::NetworkInterface ni1("ni1", eq, 1, net, cfg);
-    Cpu cpu1("cpu1", eq, mem1, &ni1);
 
     mem_prep(mem1);
+
+    if (model_.policy().handlersOnNi()) {
+        // On-NI models: the handler kernel runs on the interface's
+        // HPU; the host CPU runs the proxy service loop that drains
+        // the escape ring (deferred-list work and the STOP).
+        Hpu hpu1("hpu1", eq, mem1, ni1);
+        Cpu cpu1("cpu1", eq, mem1, &ni1);
+        isa::Program host =
+            msg::assembleKernel(msg::hostProxyProgram(model_));
+
+        hpu1.loadProgram(*handlerProg_);
+        cpu1.loadProgram(host);
+        for (const Message &m : msgs) {
+            bool ok = ni1.acceptFromNetwork(m);
+            tcpni_assert(ok);
+        }
+        hpu1.reset(handlerProg_->addrOf("entry"));
+        cpu1.reset(host.addrOf("entry"));
+        hpu1.start();
+        cpu1.start();
+        eq.run();
+        tcpni_assert(hpu1.halted());
+        tcpni_assert(cpu1.halted());
+
+        // The table's "dispatching"/"processing" cells measure HPU
+        // occupancy; the host's host_* regions ride along so callers
+        // can report the work that moved off the interface.
+        auto regions = hpu1.regionCycles();
+        for (const auto &[key, cycles] : cpu1.regionCycles())
+            regions[key] += cycles;
+        return RunResult{regions};
+    }
+
+    Cpu cpu1("cpu1", eq, mem1, &ni1);
 
     cpu1.loadProgram(*handlerProg_);
     for (const Message &m : msgs) {

@@ -1014,6 +1014,251 @@ hb_stop:
     return os.str();
 }
 
+/**
+ * The On-NI (HPU) optimized handler set.  The HPU is permanently
+ * register-coupled to its interface, so the fast paths are exactly the
+ * optimized register-mapped handlers: one-cycle dispatch through MsgIp
+ * with the final processing instruction in the jmp delay slot.  What
+ * changes is the sPIN-style division of labor: anything that builds or
+ * walks the deferred-reader lists (unbounded pointer-chasing work)
+ * escapes to the host through the proxy ring -- a single store to
+ * HPU_PROXY (pinned in r3 by setup) ships the message's effective id
+ * and input words to the host service loop (hostProxyProgram), keeping
+ * every handler's on-NI occupancy within the policy's handler-time
+ * budget.
+ */
+std::string
+hpuOptHandlers()
+{
+    std::ostringstream os;
+    os << R"(
+    ; ------ optimized On-NI (HPU) handler table ------
+    .org 0x4000
+
+    ; slot 0: poll/idle -- spin on MsgIp until a message dispatches.
+    .region dispatching
+poll:
+    jmp  msgip
+    nop
+)" << slotAlign << R"(
+    ; slot 1: exception handler.
+    .region exception
+exc:
+    halt
+)" << slotAlign << R"(
+    ; slot 2: READ -- the paper's two-instruction remote read.
+    .region dispatching
+h_read:
+    jmp  nextmsgip
+    .region processing
+    ld   o2, i0, r0 !reply=0 !next
+)" << slotAlign << R"(
+    ; slot 3: WRITE.
+    .region dispatching
+h_write:
+    jmp  nextmsgip
+    .region processing
+    st   i1, i0, r0 !next
+)" << slotAlign << R"(
+    ; slot 4: PREAD.  i0 = element, i1 = FP, i2 = IP.
+    .region processing
+h_pread:
+    ld   r5, i0, r0            ; tag
+    ld   r6, i0, r4            ; value / deferred-list head
+    addi r7, r5, -TAG_FULL
+    bnez r7, pread_slow
+    add  o2, r6, r0            ; delay: value into o2 (harmless if slow)
+    ; FULL: reply (i1,i2 head the message via REPLY mode).
+    .region dispatching
+    jmp  nextmsgip
+    .region processing
+    reply 0 !next
+pread_slow:
+    ; EMPTY or DEFERRED: parking this reader on the deferred list is
+    ; host work -- post the message to the proxy ring and move on.
+    .region dispatching
+    jmp  nextmsgip
+    .region processing
+    st   r0, r3, r0 !next
+)" << slotAlign << R"(
+    ; slot 5: PWRITE.  i0 = element, i1 = ack word, i2 = value.
+    ; Every PWRITE escapes: the host proxy is the *single writer* of
+    ; I-structure state, so an HPU-side fill could never race a park
+    ; the host is executing concurrently.  The ring is FIFO, which
+    ; serializes this PWrite behind any PRead it raced on the wire.
+    .region dispatching
+h_pwrite:
+    jmp  nextmsgip
+    .region processing
+    st   r0, r3, r0 !next
+)" << slotAlign << R"(
+    ; slot 6: ACK -- decrement the addressed completion counter.
+    .region processing
+h_ack:
+    ld   r5, i0, r0
+    addi r5, r5, -1
+    .region dispatching
+    jmp  nextmsgip
+    .region processing
+    st   r5, i0, r0 !next
+)" << slotAlign;
+
+    // Slots 7..13: unassigned types halt loudly.
+    for (int s = 7; s <= 13; ++s)
+        os << "    halt\n" << slotAlign;
+
+    os << R"(
+    ; slot 14: the ESCAPE type, dispatched through a software table
+    ; exactly as on the register-mapped optimized model.
+    .region dispatching
+h_escape:
+    slli r5, i4, 2
+    ld   r6, r13, r5           ; r13 = escape table base (setup)
+    jmp  r6
+    nop
+)" << slotAlign << R"(
+    ; slot 15: STOP -- tell the host service loop to halt, then stop.
+    .region processing
+h_stop:
+    sti  r0, r3, 0
+    halt
+)" << slotAlign << optVariantBanks(true, true) << R"(
+    ; ------ escape-dispatched handlers (identifiers >= 16) ------
+    ; id 0 in the escape table: store word 2 at the address in word 1.
+    .region processing
+h_esc_poke:
+    st   i2, i1, r0 !next
+    .region dispatching
+    jmp  nextmsgip
+    nop
+
+    ; ------ type-0 (Send) inlets, dispatched through word 1 ------
+    .region dispatching
+h_send0:
+    jmp  nextmsgip
+    .region processing
+    add  r9, i0, r0 !next      ; frame pointer into the thread register
+
+    .region processing
+h_send1:
+    add  r9, i0, r0
+    .region dispatching
+    jmp  nextmsgip
+    .region processing
+    st   i2, r9, r0 !next      ; data word 0 into the frame
+
+    .region processing
+h_send2:
+    add  r9, i0, r0
+    st   i2, r9, r0
+    .region dispatching
+    jmp  nextmsgip
+    .region processing
+    st   i3, r9, r4 !next      ; data word 1
+
+    ; ------ entry ------
+    .region setup
+entry:
+    li   ipbase, 0x4000
+    addi r4, r0, 4
+    li   r3, HPU_PROXY
+    ; escape dispatch table: one entry so far
+    li   r13, ESC_TABLE
+    li   r2, h_esc_poke
+    sti  r2, r13, 0
+    br   poll
+    nop
+)";
+    return os.str();
+}
+
+/** The basic On-NI (HPU) handler set: the basic register-mapped
+ *  handlers with the same host-proxy escapes as hpuOptHandlers(). */
+std::string
+hpuBasicHandlers(bool sw_checks)
+{
+    std::ostringstream os;
+    os << R"(
+    ; ------ basic On-NI (HPU) handlers ------
+    ; r12 = msg-valid mask, r13 = dispatch table, r4 = 4, r3 = proxy
+    .org 0x4000
+    .region setup
+entry:
+    li   r12, ST_MSGVALID
+    li   r11, ST_IAFULL | ST_OAFULL
+    li   r13, DISPATCH_TABLE
+    li   r3, HPU_PROXY
+    addi r4, r0, 4
+)" << basicTableInit() << R"(
+    br   disp_poll
+    nop
+)" << regBasicDispTail("poll", sw_checks) << R"(
+    ; READ: copy the continuation, set the reply id, fused load+send.
+    .region processing
+hb_read:
+    add  o0, i1, r0
+    add  o1, i2, r0
+    addi o4, r0, T_SEND
+    ld   o2, i0, r0 !send !next
+)" << regBasicDispTail("read", sw_checks) << R"(
+    .region processing
+hb_write:
+    st   i1, i0, r0 !next
+)" << regBasicDispTail("write", sw_checks) << R"(
+    .region processing
+hb_send0:
+    add  r9, i0, r0 !next
+)" << regBasicDispTail("send0", sw_checks) << R"(
+    .region processing
+hb_send1:
+    add  r9, i0, r0
+    st   i2, r9, r0 !next
+)" << regBasicDispTail("send1", sw_checks) << R"(
+    .region processing
+hb_send2:
+    add  r9, i0, r0
+    st   i2, r9, r0
+    st   i3, r9, r4 !next
+)" << regBasicDispTail("send2", sw_checks) << R"(
+    .region processing
+hb_pread:
+    ld   r5, i0, r0
+    ld   r6, i0, r4
+    addi r7, r5, -TAG_FULL
+    beqz r7, bpread_full
+    nop
+    ; EMPTY or DEFERRED: parking this reader is host work.
+    st   r0, r3, r0 !next
+)" << regBasicDispTail("pread_slow", sw_checks) << R"(
+    .region processing
+bpread_full:
+    add  o0, i1, r0
+    add  o1, i2, r0
+    addi o4, r0, T_SEND
+    add  o2, r6, r0 !send !next
+)" << regBasicDispTail("pread_full", sw_checks) << R"(
+    .region processing
+hb_pwrite:
+    ; Every PWRITE escapes: the host proxy is the single writer of
+    ; I-structure state (see hpuOptHandlers).
+    st   r0, r3, r0 !next
+)" << regBasicDispTail("pwrite", sw_checks) << R"(
+    .region processing
+hb_ack:
+    ld   r5, i0, r0
+    addi r5, r5, -1
+    st   r5, i0, r0 !next
+)" << regBasicDispTail("ack", sw_checks) << R"(
+    .region processing
+hb_stop:
+    sti  r0, r3, 0             ; tell the host service loop to halt
+    halt
+)";
+    if (sw_checks)
+        os << "qfull:\n    halt\n";
+    return os.str();
+}
+
 } // namespace
 
 std::string
@@ -1022,7 +1267,14 @@ handlerProgram(const ni::Model &model, bool basic_sw_checks,
 {
     // The policy's addressing mode is the instruction-sequence
     // selection hook: register-operand kernels for a register-file
-    // coupling, load/store kernels for a memory-mapped one.
+    // coupling, load/store kernels for a memory-mapped one.  On-NI
+    // models override both: the HPU is register-coupled whatever the
+    // host placement looks like, and CPU-only work escapes through
+    // the host-proxy ring.
+    if (model.policy().handlersOnNi()) {
+        return model.optimized ? hpuOptHandlers()
+                               : hpuBasicHandlers(basic_sw_checks);
+    }
     bool reg = model.policy().registerMapped();
     if (model.optimized) {
         if (reg)
@@ -1032,6 +1284,149 @@ handlerProgram(const ni::Model &model, bool basic_sw_checks,
     }
     return reg ? regBasicHandlers(basic_sw_checks)
                : cacheBasicHandlers(basic_sw_checks);
+}
+
+std::string
+hostProxyProgram(const ni::Model &model)
+{
+    // The messages the HPU escapes carry their effective id in slot
+    // word 0 and the input registers in words 1..5.  The host touches
+    // the interface only to send: reception belongs to the HPU, so
+    // REPLY/FORWARD substitution (which reads the *current* input
+    // registers, long since advanced) is unusable here -- every
+    // outgoing message is a plain SEND with o0..o2 stored explicitly
+    // through the cache-mapped command window.
+    bool basic = !model.optimized;
+
+    auto send_t = [&](unsigned type) {
+        std::ostringstream s;
+        if (basic) {
+            if (type != typeSend)
+                s << "    addi r1, r0, " << type << "\n";
+            s << "    sti  " << (type == typeSend ? "r0" : "r1")
+              << ", r10, NI_O4\n"
+                 "    ldi  r0, r10, NI_SEND\n";
+        } else {
+            s << "    ldi  r0, r10, NI_SEND | NI_TYPE*" << type << "\n";
+        }
+        return s.str();
+    };
+
+    std::ostringstream os;
+    os << R"(
+    ; ------ host-side proxy service loop (On-NI models) ------
+    ; Drains the HPU's escape ring: each slot is one message whose
+    ; handler needed CPU-only work (deferred-list manipulation), or
+    ; the STOP that ends the run.
+    .org 0x1000
+    .region host_setup
+entry:
+    li   r10, NI_BASE
+    li   r13, HP_RING
+    li   r12, HP_PI
+    addi r9, r0, 0             ; consumer index
+    addi r4, r0, 4
+    br   hp_poll
+    nop
+
+    .region host_dispatch
+hp_poll:
+    ld   r1, r12, r0           ; producer index (written by the HPU)
+    sub  r1, r1, r9
+    beqz r1, hp_poll
+    nop
+    andi r2, r9, HP_RING_MASK
+    slli r2, r2, 5             ; * HP_SLOT_BYTES
+    add  r2, r13, r2           ; slot address
+    ld   r3, r2, r0            ; effective id
+    addi r5, r3, -T_PREAD
+    beqz r5, hp_pread
+    addi r5, r3, -T_PWRITE     ; delay: next comparison (harmless)
+    beqz r5, hp_pwrite
+    nop
+    halt                       ; T_STOP: the ring is drained
+
+    ; PREAD escape: slot i0 = element, i1 = FP, i2 = IP.
+    .region host_proc
+hp_pread:
+    ldi  r5, r2, 4             ; element
+    ldi  r6, r2, 8             ; reader FP
+    ldi  r7, r2, 12            ; reader IP
+    ld   r3, r5, r0            ; tag, re-read: may have filled in flight
+    ld   r8, r5, r4            ; value / deferred-list head
+    addi r1, r3, -TAG_FULL
+    bnez r1, hp_pread_park
+    nop
+    ; a PWrite earlier in the ring filled the element: reply directly.
+    sti  r6, r10, NI_O0
+    sti  r7, r10, NI_O1
+    sti  r8, r10, NI_O2
+)" << send_t(typeSend) << R"(
+    br   hp_next
+    nop
+hp_pread_park:
+    ldi  r1, r0, ALLOC_PTR
+    addi r2, r1, DN_SIZE
+    sti  r2, r0, ALLOC_PTR
+    st   r6, r1, r0            ; node.fp
+    sti  r7, r1, DN_IP         ; node.ip
+    bnez r3, hp_pread_defer    ; EMPTY lists end here,
+    nop
+    sti  r0, r1, DN_NEXT
+    br   hp_pread_link
+    nop
+hp_pread_defer:
+    sti  r8, r1, DN_NEXT       ; ... DEFERRED chains the old head
+hp_pread_link:
+    sti  r1, r5, IS_VALUE
+    addi r3, r0, TAG_DEFERRED
+    sti  r3, r5, IS_TAG
+    br   hp_next
+    nop
+
+    ; PWRITE escape: slot i0 = element, i1 = ack word, i2 = value.
+    ; Every PWRITE escapes, so the host is the single writer of
+    ; I-structure state and this tag read cannot race anything.  The
+    ; ring is FIFO: a PWrite that chased a PRead through the ring is
+    ; consumed after the PRead's park and sees its node on the list.
+    .region host_proc
+hp_pwrite:
+    ldi  r5, r2, 4             ; element
+    ldi  r6, r2, 8             ; ack word
+    ldi  r7, r2, 12            ; value
+    ld   r3, r5, r0            ; tag (the host is the only writer)
+    ld   r8, r5, r4            ; deferred-list head (if any)
+    sti  r7, r5, IS_VALUE
+    addi r1, r0, TAG_FULL
+    sti  r1, r5, IS_TAG
+    beqz r6, hp_pwrite_chk
+    nop
+    sti  r6, r10, NI_O0
+)" << send_t(typeAck) << R"(
+hp_pwrite_chk:
+    addi r3, r3, -TAG_DEFERRED
+    bnez r3, hp_next           ; EMPTY or FULL: nobody parked
+    nop
+    ; forward the value to every parked reader.
+    sti  r7, r10, NI_O2        ; value persists across sends
+hp_pwrite_loop:
+    ldi  r1, r8, DN_FP
+    ldi  r3, r8, DN_IP
+    sti  r1, r10, NI_O0
+    sti  r3, r10, NI_O1
+)" << send_t(typeSend) << R"(
+    ldi  r8, r8, DN_NEXT
+    bnez r8, hp_pwrite_loop
+    nop
+
+    .region host_dispatch
+hp_next:
+    addi r9, r9, 1
+    sti  r9, r0, HP_CI         ; publish consumption to the HPU
+    br   hp_poll
+    nop
+)";
+    return os.str();
 }
 
 namespace

@@ -105,6 +105,18 @@ std::string senderProgram(const ni::Model &model, Kind kind,
                           unsigned count);
 
 /**
+ * The host-side service loop paired with the On-NI handler kernels: a
+ * CPU program that drains the HPU's host-proxy ring (msg::hostRingBase
+ * / hostRingPiAddr / hostRingCiAddr), performing the deferred-list
+ * work the HPU escaped (PREAD parking, PWRITE reader walks) and
+ * halting when the STOP message's escape arrives.  Exposed labels:
+ * `entry`.  Regions are tagged `host_setup` / `host_dispatch` /
+ * `host_proc` so harnesses can report host occupancy separately from
+ * the HPU's "dispatching"/"processing" cycles.
+ */
+std::string hostProxyProgram(const ni::Model &model);
+
+/**
  * Number of message values that could have been computed directly into
  * the output registers for this kind (the paper's range lower bound =
  * measured copy cost minus this, register-mapped models only).

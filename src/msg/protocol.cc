@@ -33,6 +33,13 @@ protoSymbols()
     syms["ALLOC_PTR"] = allocPtrAddr;
     syms["DISPATCH_TABLE"] = basicDispatchTable;
     syms["ESC_TABLE"] = escapeTableAddr;
+
+    syms["HPU_PROXY"] = hpuProxyAddr;
+    syms["HP_RING"] = hostRingBase;
+    syms["HP_RING_MASK"] = hostRingSlots - 1;
+    syms["HP_SLOT_BYTES"] = hostRingSlotBytes;
+    syms["HP_PI"] = hostRingPiAddr;
+    syms["HP_CI"] = hostRingCiAddr;
     return syms;
 }
 

@@ -99,6 +99,29 @@ constexpr Addr allocPtrAddr = 0x80;
 constexpr Addr basicDispatchTable = 0x100;
 
 /**
+ * @{ Host-proxy escape path of the on-NI placement (src/hpu).
+ *
+ * HPU handlers must stay short and loop-free (the handler-time
+ * budget), so CPU-only work -- the deferred-reader list walks of
+ * PREAD/PWRITE -- escapes to the host: the handler stores once to the
+ * magic hpuProxyAddr and the HPU posts the current message (its
+ * effective id plus input words 0..4) into a ring of
+ * hostRingSlots x hostRingSlotBytes bytes in node memory at
+ * hostRingBase.  The HPU-owned producer index lives at
+ * hostRingPiAddr; the host-kernel-owned consumer index at
+ * hostRingCiAddr.  The host proxy kernel polls the indices, replays
+ * the slot through the ordinary protocol handlers, and replies with
+ * plain SENDs through its own (cache-mapped) view of the interface.
+ */
+constexpr Word hpuProxyAddr = 0xfffe0000u;
+constexpr Addr hostRingBase = 0x8000;
+constexpr unsigned hostRingSlots = 64;
+constexpr unsigned hostRingSlotBytes = 32;
+constexpr Addr hostRingPiAddr = 0x7f00;
+constexpr Addr hostRingCiAddr = 0x7f04;
+/** @} */
+
+/**
  * Message-length contract for one protocol type: which word indices a
  * handler for that type is entitled (and required) to consume.  The
  * static verifier checks handler kernels against this table; keep it

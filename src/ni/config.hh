@@ -36,6 +36,7 @@ enum class Placement : uint8_t
     offChipCache,   //!< Sec 3.1: on the external cache bus (the NIC chip)
     onChipCache,    //!< Sec 3.2: on the internal cache bus
     registerFile,   //!< Sec 3.3: mapped into the register file
+    onNi,           //!< handlers execute on the interface itself (HPU)
 };
 
 /** Which Section-2.2 hardware optimizations are implemented. */

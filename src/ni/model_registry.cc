@@ -36,6 +36,16 @@ ModelRegistry::ModelRegistry()
     // models flow through every registry consumer unchanged.
     add({"Optimized Far Off-chip", "faroff-opt", "Opt Far-off",
          Model{Placement::offChipCache, true}.withOffchipDelay(8)});
+    // On-NI handler execution (src/hpu): handlers run on the
+    // interface's HPU, so dispatching and processing cycles leave the
+    // CPU load-use path entirely.  Registered as a full
+    // basic/optimized pair to flow through the same consumers.
+    for (bool optimized : {false, true}) {
+        Model m{Placement::onNi, optimized};
+        add({m.name(), m.shortName(),
+             (optimized ? "Opt " : "Basic ") + m.policy().columnLabel(),
+             m});
+    }
 #endif
 }
 

@@ -73,6 +73,35 @@ class RegisterFilePolicy final : public PlacementPolicy
     bool optimizedKernelHasEscape() const override { return true; }
 };
 
+/** On-NI handler execution (sPIN-style): the handlers run on a
+ *  handler processing unit inside the interface, register-coupled to
+ *  the NI state with no load-use penalty.  The *host* still reaches
+ *  the interface through the memory-mapped window of an off-chip NIC
+ *  (so senders and the proxy kernel pay the off-chip delay), but
+ *  dispatch and processing never touch the CPU load-use path. */
+class OnNiPolicy final : public PlacementPolicy
+{
+  public:
+    Placement kind() const override { return Placement::onNi; }
+    std::string name() const override { return "On-NI"; }
+    std::string shortName() const override { return "onni"; }
+    std::string columnLabel() const override { return "On-NI"; }
+    Addressing addressing() const override
+    {
+        return Addressing::memoryMapped;
+    }
+    bool foldedNiCommands() const override { return false; }
+    Cycles
+    loadUseDelay(const NiConfig &cfg) const override
+    {
+        return cfg.offChipLoadUseDelay;
+    }
+    bool directCompose() const override { return false; }
+    bool optimizedKernelHasEscape() const override { return true; }
+    bool handlersOnNi() const override { return true; }
+    Cycles handlerTimeBudget() const override { return 64; }
+};
+
 } // namespace
 
 const PlacementPolicy &
@@ -81,10 +110,12 @@ placementPolicy(Placement p)
     static const OffChipCachePolicy off_chip;
     static const OnChipCachePolicy on_chip;
     static const RegisterFilePolicy reg_file;
+    static const OnNiPolicy on_ni;
     switch (p) {
       case Placement::offChipCache: return off_chip;
       case Placement::onChipCache: return on_chip;
       case Placement::registerFile: return reg_file;
+      case Placement::onNi: return on_ni;
     }
     panic("unknown placement %d", static_cast<int>(p));
 }

@@ -95,6 +95,23 @@ class PlacementPolicy
     /** Does the optimized handler set dispatch >4-bit identifiers
      *  through an escape table (Section 2.2.1)? */
     virtual bool optimizedKernelHasEscape() const = 0;
+
+    /**
+     * Do the message handlers execute on the interface itself (a
+     * handler processing unit in the style of sPIN), rather than on
+     * the host CPU?  When true, handler kernels are compiled against
+     * HPU-local register access (register-file view with zero NI
+     * load-use delay) regardless of how the *host* addresses the
+     * interface, and CPU-only work escapes through the host proxy.
+     */
+    virtual bool handlersOnNi() const { return false; }
+
+    /**
+     * Bound on the cycles one handler activation may occupy the HPU
+     * (sPIN's handler contract).  Zero means no budget; nonzero only
+     * makes sense together with handlersOnNi().
+     */
+    virtual Cycles handlerTimeBudget() const { return 0; }
 };
 
 /** The policy implementation for @p p (a process-lifetime singleton). */

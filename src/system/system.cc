@@ -1,6 +1,7 @@
 #include "system/system.hh"
 
 #include "common/logging.hh"
+#include "ni/placement_policy.hh"
 
 namespace tcpni
 {
@@ -15,12 +16,32 @@ Node::Node(const std::string &name, EventQueue &eq, NodeId id,
     mem_ = std::make_unique<Memory>(cfg.memBytes);
     ni_ = std::make_unique<ni::NetworkInterface>(name + ".ni", eq, id,
                                                  net, cfg.ni);
+    if (cfg.ni.policy().handlersOnNi()) {
+        hpu_ = std::make_unique<Hpu>(name + ".hpu", eq, *mem_, *ni_,
+                                     cfg.hpu);
+    }
+    // The CPU comes last so its interrupt sink is the one installed
+    // (the HPU registers none: it *is* the reception path).
     cpu_ = std::make_unique<Cpu>(name + ".cpu", eq, *mem_, ni_.get(),
                                  cfg.cpu);
 }
 
 void
 Node::boot(const isa::Program &prog, Addr entry)
+{
+    if (hpu_) {
+        hpu_->loadProgram(prog);
+        hpu_->reset(entry);
+        hpu_->start();
+        return;
+    }
+    cpu_->loadProgram(prog);
+    cpu_->reset(entry);
+    cpu_->start();
+}
+
+void
+Node::bootHost(const isa::Program &prog, Addr entry)
 {
     cpu_->loadProgram(prog);
     cpu_->reset(entry);
@@ -62,6 +83,9 @@ System::run(Tick max_ticks)
     bool quiesced = true;
     for (auto &n : nodes_) {
         if (n->cpu().instructions() > 0 && !n->cpu().halted())
+            quiesced = false;
+        if (n->hpu() && n->hpu()->instructions() > 0 &&
+            !n->hpu()->halted())
             quiesced = false;
         if (n->ni().outputQueueLen() > 0)
             quiesced = false;

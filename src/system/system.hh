@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "cpu/cpu.hh"
+#include "hpu/hpu.hh"
 #include "mem/memory.hh"
 #include "ni/network_interface.hh"
 #include "noc/mesh.hh"
@@ -33,9 +34,15 @@ struct NodeConfig
     Addr memBytes = 1 << 20;
     ni::NiConfig ni;
     CpuConfig cpu;
+    HpuConfig hpu;      //!< used only by On-NI placements
 };
 
-/** One node: memory + NI + CPU. */
+/**
+ * One node: memory + NI + CPU -- plus an HPU when the node's
+ * placement executes handlers on the interface itself (a mesh can mix
+ * On-NI server nodes with plain clients; heterogeneous NodeConfig
+ * vectors are first-class).
+ */
 class Node
 {
   public:
@@ -47,14 +54,27 @@ class Node
     Cpu &cpu() { return *cpu_; }
     NodeId id() const { return id_; }
 
-    /** Load a program and prepare the CPU to run from @p entry. */
+    /** The node's HPU; null unless the placement is On-NI. */
+    Hpu *hpu() { return hpu_.get(); }
+
+    /**
+     * Load a program and prepare the node's handler engine to run
+     * from @p entry: the CPU normally, the HPU on On-NI nodes (where
+     * the handler loop belongs to the interface; use bootHost() for
+     * the CPU-side program).
+     */
     void boot(const isa::Program &prog, Addr entry);
+
+    /** Load a program onto the host CPU explicitly (On-NI nodes run
+     *  the proxy service loop -- or anything else -- here). */
+    void bootHost(const isa::Program &prog, Addr entry);
 
   private:
     NodeId id_;
     std::unique_ptr<Memory> mem_;
     std::unique_ptr<ni::NetworkInterface> ni_;
     std::unique_ptr<Cpu> cpu_;
+    std::unique_ptr<Hpu> hpu_;
 };
 
 /** A width x height mesh machine. */

@@ -121,10 +121,9 @@ struct SetupScan
  * constant effects that the contract depends on are interpreted.
  */
 SetupScan
-scanSetup(const isa::Program &prog, const ni::Model &model, Addr entry)
+scanSetup(const isa::Program &prog, bool reg_mapped, Addr entry)
 {
     SetupScan scan;
-    bool reg_mapped = model.policy().registerMapped();
 
     size_t idx = prog.indexOf(entry);
     bool in_delay = false;
@@ -223,8 +222,7 @@ rootName(const isa::Program &prog, Addr addr, const std::string &fallback)
 }
 
 void
-commonDerive(const isa::Program &prog, const ni::Model &model,
-             Contract &c)
+commonDerive(const isa::Program &prog, Contract &c)
 {
     auto entry_it = prog.symbols.find("entry");
     if (entry_it == prog.symbols.end() ||
@@ -235,7 +233,7 @@ commonDerive(const isa::Program &prog, const ni::Model &model,
     }
     Addr entry = static_cast<Addr>(entry_it->second);
 
-    SetupScan scan = scanSetup(prog, model, entry);
+    SetupScan scan = scanSetup(prog, c.kernelRegMapped, entry);
     c.pinned = scan.env;
     c.ipBase = scan.ipBase;
     c.ipBaseFound = scan.ipBaseFound;
@@ -270,7 +268,11 @@ deriveHandlerContract(const isa::Program &prog, const ni::Model &model)
     using ni::dispatch::handlerAddr;
 
     Contract c;
-    commonDerive(prog, model, c);
+    // On-NI models compile their handlers against the HPU's permanent
+    // register coupling, whatever the host placement's addressing is.
+    c.kernelRegMapped = model.policy().registerMapped() ||
+                        model.policy().handlersOnNi();
+    commonDerive(prog, c);
     if (c.roots.empty())
         return c;
 
@@ -432,7 +434,10 @@ Contract
 deriveSenderContract(const isa::Program &prog, const ni::Model &model)
 {
     Contract c;
-    commonDerive(prog, model, c);
+    // Senders always run on the host CPU, so they see the placement's
+    // own addressing even on On-NI models.
+    c.kernelRegMapped = model.policy().registerMapped();
+    commonDerive(prog, c);
     // A sender is one straight entry walk; nothing is pinned for it
     // (the walk itself establishes every register it uses).
     c.pinned = {};

@@ -104,6 +104,13 @@ struct Root
 struct Contract
 {
     std::vector<Root> roots;
+
+    /** The register view the kernel is compiled against.  Usually the
+     *  policy's addressing mode, but On-NI models split: their
+     *  *handler* kernels run on the register-coupled HPU while their
+     *  *sender* kernels run on the (memory-mapped) host CPU. */
+    bool kernelRegMapped = false;
+
     RegEnv pinned;                  //!< setup constants handlers rely on
     Addr ipBase = 0;                //!< installed dispatch-table base
     bool ipBaseFound = false;

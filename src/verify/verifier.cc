@@ -321,6 +321,15 @@ RootRun::applyInst(size_t idx, const Instruction &inst, State &st)
         acc.reg <= ni::regI4)
         noteIRead(idx, acc.reg - ni::regI0, st);
 
+    // A store to the host-proxy doorbell (On-NI models) ships the
+    // whole message -- effective id plus input words -- to the host
+    // service loop, consuming every word the message carries.
+    if (isa::isStore(inst.op) && addrKnown &&
+        addr == msg::hpuProxyAddr) {
+        for (unsigned k = 0; k < root.maxWords; ++k)
+            noteIRead(idx, k, st);
+    }
+
     // 2. The instruction's own write (visible to a folded SEND: the
     //    paper's fused "ld o2, (i0) !reply !next").
     if (auto rd = isa::regWritten(inst)) {
@@ -603,7 +612,8 @@ hazardScan(const isa::Program &prog, const ni::Model &model,
            const std::set<size_t> &ni_loads, Report &rep)
 {
     unsigned ni_delay = model.config().loadUseDelay();
-    bool reg_mapped = model.policy().registerMapped();
+    bool reg_mapped = contract.kernelRegMapped ||
+                      model.policy().registerMapped();
 
     // Pessimistic block boundaries: every root entry and branch target
     // resets the pipeline model.
@@ -672,6 +682,108 @@ hazardScan(const isa::Program &prog, const ni::Model &model,
     }
 }
 
+/**
+ * Handler-time budget scan (On-NI models).  sPIN's contract bounds how
+ * long a handler may occupy its HPU; the kernels guarantee the bound
+ * statically by keeping every handler loop-free up to its NEXT and
+ * escaping unbounded work (deferred-list walks) to the host.  The scan
+ * walks every path from each message-handling root, counting one cycle
+ * per instruction, and terminates a path at the instruction that
+ * retires NEXT, at a halt, or at an indirect jmp (dispatch: by then
+ * the activation is over).  A cycle reached before NEXT is unbounded
+ * occupancy; a worst-case path longer than the budget is an overrun.
+ * Both are warnings, so `tcpni_lint --Werror` rejects such kernels.
+ */
+struct BudgetWalker
+{
+    const isa::Program &prog;
+    std::map<size_t, uint64_t> memo;
+    std::set<size_t> onpath;
+    bool cyclic = false;
+
+    uint64_t
+    walk(size_t idx)
+    {
+        if (cyclic)
+            return 0;
+        auto it = memo.find(idx);
+        if (it != memo.end())
+            return it->second;
+        if (onpath.count(idx)) {
+            cyclic = true;
+            return 0;
+        }
+        if (idx >= prog.words.size() ||
+            prog.kindOf[idx] != isa::WordKind::code)
+            return 0;   // structure checks report fall-offs
+
+        onpath.insert(idx);
+        Instruction inst = isa::decode(prog.words[idx]);
+        uint64_t cost;
+        if (inst.op == Opcode::halt) {
+            cost = 1;
+        } else if (!isa::isBranch(inst.op)) {
+            cost = 1;
+            if (!inst.ni.next)
+                cost += walk(idx + 1);
+        } else {
+            cost = 2;   // the branch and its delay slot
+            bool ends = inst.ni.next;
+            if (idx + 1 < prog.words.size() &&
+                prog.kindOf[idx + 1] == isa::WordKind::code)
+                ends = ends || isa::decode(prog.words[idx + 1]).ni.next;
+            // Indirect jumps are dispatch; the activation is over.
+            if (!ends && inst.op != Opcode::jmp) {
+                Addr pc = prog.base + static_cast<Addr>(idx) * 4;
+                Addr target =
+                    pc + 4 + static_cast<Word>(inst.imm) * 4;
+                uint64_t worst = 0;
+                if (prog.contains(target))
+                    worst = walk(prog.indexOf(target));
+                if (isa::isCondBranch(inst.op))
+                    worst = std::max(worst, walk(idx + 2));
+                cost += worst;
+            }
+        }
+        onpath.erase(idx);
+        memo[idx] = cost;
+        return cost;
+    }
+};
+
+void
+budgetScan(const isa::Program &prog, const ni::Model &model,
+           const Contract &contract, Report &rep)
+{
+    Cycles budget = model.policy().handlerTimeBudget();
+    if (budget == 0)
+        return;
+
+    for (const Root &root : contract.roots) {
+        if (!root.expectsMessage() || !prog.contains(root.entry))
+            continue;
+        size_t entry = prog.indexOf(root.entry);
+        unsigned line =
+            entry < prog.lineOf.size() ? prog.lineOf[entry] : 0;
+
+        BudgetWalker bw{prog, {}, {}, false};
+        uint64_t worst = bw.walk(entry);
+        if (bw.cyclic) {
+            rep.add(Severity::warning, "budget", root.entry, line,
+                    root.name,
+                    "handler occupancy is unbounded: a loop precedes "
+                    "NEXT (escape this work to the host proxy)");
+        } else if (worst > budget) {
+            rep.add(Severity::warning, "budget", root.entry, line,
+                    root.name,
+                    "worst-case handler occupancy of " +
+                        std::to_string(worst) +
+                        " cycles exceeds the handler-time budget of " +
+                        std::to_string(budget));
+        }
+    }
+}
+
 } // namespace
 
 Report
@@ -679,7 +791,8 @@ verify(const isa::Program &prog, const ni::Model &model,
        const Contract &contract, const VerifyOptions &opts)
 {
     Report rep = contract.diags;
-    bool reg_mapped = model.policy().registerMapped();
+    bool reg_mapped = contract.kernelRegMapped ||
+                      model.policy().registerMapped();
     std::set<size_t> visited;
     std::set<size_t> ni_loads;
 
@@ -742,6 +855,8 @@ verify(const isa::Program &prog, const ni::Model &model,
 
     if (opts.hazardNotes)
         hazardScan(prog, model, contract, visited, ni_loads, rep);
+
+    budgetScan(prog, model, contract, rep);
 
     rep.dedupe();
     return rep;

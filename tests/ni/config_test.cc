@@ -137,6 +137,27 @@ TEST(ModelRegistry, FindByNameAndShortName)
               nullptr);
 }
 
+TEST(ModelRegistry, RejectsDuplicateNames)
+{
+    ni::ModelRegistry &reg = ni::ModelRegistry::instance();
+    ASSERT_GE(reg.size(), 1u);
+    const ni::ModelInfo first = reg.all().front();
+    const size_t before = reg.size();
+
+    ni::ModelInfo dup_name = first;
+    dup_name.shortName = "unique-short-name";
+    EXPECT_THROW(reg.add(dup_name), FatalError);
+
+    ni::ModelInfo dup_short = first;
+    dup_short.name = "A Unique Long Name";
+    EXPECT_THROW(reg.add(dup_short), FatalError);
+
+    // add() validates before mutating: the registry is unchanged.
+    EXPECT_EQ(reg.size(), before);
+    EXPECT_EQ(reg.find("unique-short-name"), nullptr);
+    EXPECT_EQ(reg.find("A Unique Long Name"), nullptr);
+}
+
 TEST(ModelRegistry, NamesAreUnique)
 {
     std::set<std::string> names, shorts;
@@ -157,6 +178,17 @@ TEST(ModelRegistry, FarOffchipVariantRegistered)
     EXPECT_EQ(far->model.placement, ni::Placement::offChipCache);
     EXPECT_TRUE(far->model.optimized);
     EXPECT_EQ(far->model.offchipLoadUseDelay, 8u);
+}
+
+TEST(ModelRegistry, OnNiPairRegistered)
+{
+    for (const char *name : {"onni-basic", "onni-opt"}) {
+        const ni::ModelInfo *info =
+            ni::ModelRegistry::instance().find(name);
+        ASSERT_NE(info, nullptr) << name;
+        EXPECT_EQ(info->model.placement, ni::Placement::onNi);
+        EXPECT_TRUE(info->model.policy().handlersOnNi());
+    }
 }
 #endif
 

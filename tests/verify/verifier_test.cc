@@ -600,6 +600,93 @@ TEST(Hazard, RegisterMappedNeverInterlocks)
     }
 }
 
+// ---------------------------------------------------------------------
+// budget (On-NI handler-time contract)
+// ---------------------------------------------------------------------
+
+TEST(Budget, LoopingHandlerWarnsUnbounded)
+{
+    // A loop on the path to NEXT makes the worst-case occupancy
+    // unbounded: the sPIN-style contract says that work belongs on
+    // the host, reached through the proxy ring.
+    isa::Program p = asmProg(R"(
+    .org 0x4000
+    .region processing
+h:
+    addi r5, r0, 8
+spin:
+    addi r5, r5, -1
+    bnez r5, spin
+    nop
+    st   i1, i0, r0 !next
+    jmp  nextmsgip
+    nop
+)");
+    ni::Model onni{ni::Placement::onNi, true};
+    v::Report rep = v::verify(p, onni,
+                              oneRoot(p, "h", v::RootKind::handler, 3,
+                                      2, 2));
+    EXPECT_TRUE(has(rep, v::Severity::warning, "budget", "unbounded"))
+        << dump(rep);
+}
+
+TEST(Budget, StraightLineOverrunWarnsWithCycleCount)
+{
+    // 100 straight-line instructions against the On-NI policy's
+    // 64-cycle budget: bounded, but over.
+    std::string src = ".org 0x4000\n.region processing\nh:\n";
+    for (int i = 0; i < 100; ++i)
+        src += "    addi r5, r0, 1\n";
+    src += "    st   i1, i0, r0 !next\n"
+           "    jmp  nextmsgip\n"
+           "    nop\n";
+    isa::Program p = asmProg(src);
+    ni::Model onni{ni::Placement::onNi, true};
+    v::Report rep = v::verify(p, onni,
+                              oneRoot(p, "h", v::RootKind::handler, 3,
+                                      2, 2));
+    EXPECT_TRUE(has(rep, v::Severity::warning, "budget",
+                    "exceeds the handler-time budget"))
+        << dump(rep);
+}
+
+TEST(Budget, HostPlacementsHaveNoBudget)
+{
+    // The same looping kernel is fine on a host placement: only the
+    // On-NI policy publishes a handler-time budget.
+    isa::Program p = asmProg(R"(
+    .org 0x4000
+    .region processing
+h:
+    addi r5, r0, 8
+spin:
+    addi r5, r5, -1
+    bnez r5, spin
+    nop
+    st   i1, i0, r0 !next
+    jmp  nextmsgip
+    nop
+)");
+    v::Report rep = v::verify(p, model("reg-opt"),
+                              oneRoot(p, "h", v::RootKind::handler, 3,
+                                      2, 2));
+    EXPECT_FALSE(has(rep, v::Severity::warning, "budget", ""))
+        << dump(rep);
+}
+
+TEST(Budget, ShippedHpuKernelsStayWithinBudget)
+{
+    // The shipped On-NI kernels must honor their own contract: no
+    // budget diagnostics on either variant.
+    for (bool optimized : {false, true}) {
+        ni::Model onni{ni::Placement::onNi, optimized};
+        isa::Program p = asmProg(msg::handlerProgram(onni));
+        v::Report rep = v::verifyHandlers(p, onni);
+        EXPECT_FALSE(has(rep, v::Severity::warning, "budget", ""))
+            << onni.shortName() << ":\n" << dump(rep);
+    }
+}
+
 TEST(Hazard, ReadHandlerStallsMatchTable1Delta)
 {
     // The statically-predicted stall cycles in the READ handler's slot

@@ -51,7 +51,10 @@ jobsFor(const ni::ModelInfo &info)
     if (model.optimized) {
         jobs.push_back({mname + "/handlers", model,
                         msg::handlerProgram(model), false});
-        if (!model.policy().registerMapped()) {
+        // The no-overlap variant exists only for the cache-mapped
+        // host kernels; On-NI handlers are register-coupled.
+        if (!model.policy().registerMapped() &&
+            !model.policy().handlersOnNi()) {
             jobs.push_back({mname + "/handlers-no-overlap", model,
                             msg::handlerProgram(model, false, true),
                             false});
