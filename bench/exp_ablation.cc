@@ -84,12 +84,16 @@ runAblation(const exp::Context &ctx)
     SweepRunner sweep(ctx.jobs);
     sweep.run(7, [&](size_t i) {
         if (i == 0) {
+            auto ms = ctx.taskMetrics(i, "matmul");
             std::fprintf(stderr, "running matrix multiply...\n");
             mm = apps::runMatMul(n, 4);
             return;
         }
         size_t p = (i - 1) / 2;
         bool optimized = (i - 1) % 2 != 0;
+        auto ms = ctx.taskMetrics(
+            i, ni::placementName(places[p]) +
+                   (optimized ? "-optimized" : "-basic"));
         std::fprintf(stderr, "measuring %s %s kernels...\n",
                      ni::placementName(places[p]).c_str(),
                      optimized ? "optimized" : "basic");

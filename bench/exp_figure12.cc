@@ -208,12 +208,15 @@ runFigure12(const exp::Context &ctx)
     SweepRunner sweep(ctx.jobs);
     sweep.run(models.size() + 2, [&](size_t i) {
         if (i < models.size()) {
+            auto ms = ctx.taskMetrics(i, names[i]);
             costs[i] = tam::measureCommCosts(models[i]);
         } else if (i == models.size()) {
+            auto ms = ctx.taskMetrics(i, "matmul");
             std::fprintf(stderr, "running matrix multiply (%ux%u)...\n",
                          n, n);
             mm = apps::runMatMul(n, 4);
         } else {
+            auto ms = ctx.taskMetrics(i, "gamteb");
             std::fprintf(stderr, "running gamteb (%u particles)...\n",
                          particles);
             gt = apps::runGamteb(particles);

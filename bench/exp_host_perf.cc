@@ -2,9 +2,16 @@
  * @file
  * Host-side performance of the simulator itself (not of the modeled
  * machine): wall-time for the Table-1 model sweep run serially vs on
- * the SweepRunner thread pool, and raw event-kernel throughput
+ * the SweepRunner thread pool, raw event-kernel throughput
  * (events/second) for the calendar queue vs the reference binary
- * heap.  Results go to stdout and to a JSON file for CI tracking.
+ * heap, a per-event-type self-profile of where the simulator's own
+ * wall-time goes, and the sweep pool's work-stealing balance.
+ * Results go to stdout and to a JSON file for CI tracking.
+ *
+ * The JSON leads with the host's hardware concurrency; a machine with
+ * fewer than two hardware threads cannot demonstrate a sweep speedup,
+ * so the record is marked "degraded": true and the speedup numbers
+ * should not be compared across hosts.
  */
 
 #include <chrono>
@@ -16,6 +23,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/stats.hh"
 #include "experiments.hh"
 #include "ni/model_registry.hh"
 #include "sim/event_queue.hh"
@@ -38,16 +46,40 @@ seconds(std::chrono::steady_clock::time_point t0)
         .count();
 }
 
-/** Wall-time of the full registered-model Table-1 kernel sweep. */
+/** Wall-time of the full registered-model Table-1 kernel sweep.
+ *  When @p stats is non-null the pool's work-claiming accounting for
+ *  the run is copied out. */
 double
-timeModelSweep(unsigned jobs)
+timeModelSweep(unsigned jobs, SweepRunner::RunStats *stats = nullptr)
 {
     const auto &models = ni::registeredModels();
+    SweepRunner sweep(jobs);
     auto t0 = std::chrono::steady_clock::now();
-    SweepRunner(jobs).run(models.size(), [&](size_t i) {
+    sweep.run(models.size(), [&](size_t i) {
         tam::measureCommCosts(models[i].model);
     });
-    return seconds(t0);
+    double sec = seconds(t0);
+    if (stats)
+        *stats = sweep.lastRunStats();
+    return sec;
+}
+
+/** Re-run the model sweep serially with per-event-type profiling
+ *  enabled: every EventQueue constructed on this thread times each
+ *  process() call and attributes it to the event's name().  The
+ *  timing overhead perturbs the run, so this is kept separate from
+ *  the wall-time measurements above. */
+evprof::Profile
+profileModelSweep()
+{
+    const auto &models = ni::registeredModels();
+    evprof::setEnabled(true);
+    evprof::take();  // drop anything a previous run accumulated
+    SweepRunner(1).run(models.size(), [&](size_t i) {
+        tam::measureCommCosts(models[i].model);
+    });
+    evprof::setEnabled(false);
+    return evprof::take();
 }
 
 /** A self-rescheduling event with a cheap deterministic PRNG choosing
@@ -108,21 +140,61 @@ runHostPerf(const exp::Context &ctx)
     unsigned jobs = ctx.jobs;
     uint64_t events = static_cast<uint64_t>(ctx.num("--events"));
     std::string out_file = ctx.str("--out");
+    const unsigned hw_threads = SweepRunner::defaultJobs();
+    const bool degraded = hw_threads < 2;
     if (jobs == 0)
-        jobs = SweepRunner::defaultJobs();
+        jobs = hw_threads;
 
     std::cout << "Host performance (simulator wall-time; "
-              << SweepRunner::defaultJobs()
-              << " hardware threads)\n\n";
+              << hw_threads << " hardware thread"
+              << (hw_threads == 1 ? "" : "s") << ")\n";
+    if (degraded) {
+        std::cout << "WARNING: fewer than 2 hardware threads -- the "
+                     "sweep speedup cannot be\ndemonstrated on this "
+                     "host; results are marked degraded.\n";
+    }
+    std::cout << "\n";
 
     // Warm up allocators and code paths, then measure.
     timeModelSweep(1);
     double serial = timeModelSweep(1);
-    double parallel = timeModelSweep(jobs);
+    SweepRunner::RunStats pool;
+    double parallel = timeModelSweep(jobs, &pool);
     double speedup = serial / parallel;
     std::printf("Table-1 model sweep: serial %.3fs, --jobs %u %.3fs "
                 "(%.2fx speedup)\n",
                 serial, jobs, parallel, speedup);
+    for (unsigned w = 0; w < pool.workers; ++w) {
+        std::printf("  worker %u: %llu tasks claimed, %.3fs busy "
+                    "(%.0f%% of wall)\n",
+                    w,
+                    static_cast<unsigned long long>(pool.claimed[w]),
+                    pool.busySeconds[w],
+                    pool.wallSeconds > 0
+                        ? pool.busySeconds[w] / pool.wallSeconds * 100
+                        : 0.0);
+    }
+
+    // Where the simulator's own time goes, by event type.
+    evprof::Profile prof = profileModelSweep();
+    uint64_t prof_events = 0;
+    double prof_seconds = 0;
+    for (const auto &[type, ts] : prof) {
+        prof_events += ts.count;
+        prof_seconds += ts.seconds;
+    }
+    std::printf("\nSelf-profile (serial model sweep, instrumented): "
+                "%llu events, %.3fs in process()\n",
+                static_cast<unsigned long long>(prof_events),
+                prof_seconds);
+    for (const auto &[type, ts] : prof) {
+        std::printf("  %-16s %10llu events  %8.3fs  (%.1f%%)\n",
+                    type.c_str(),
+                    static_cast<unsigned long long>(ts.count),
+                    ts.seconds,
+                    prof_seconds > 0 ? ts.seconds / prof_seconds * 100
+                                     : 0.0);
+    }
 
     // The population sweep shows where the calendar ring pays off:
     // the heap's per-event cost grows with the pending-event count,
@@ -144,11 +216,32 @@ runHostPerf(const exp::Context &ctx)
     std::ofstream os(out_file);
     if (!os)
         fatal("cannot open --out file '%s'", out_file.c_str());
-    os << "{\"host\":{\"hardwareConcurrency\":"
-       << SweepRunner::defaultJobs() << "},\n"
+    os << "{\"host\":{\"hardwareConcurrency\":" << hw_threads
+       << ",\"degraded\":" << (degraded ? "true" : "false") << "},\n"
        << "\"table1Sweep\":{\"jobs\":" << jobs << ",\"serialSec\":"
        << serial << ",\"parallelSec\":" << parallel << ",\"speedup\":"
        << speedup << "},\n"
+       << "\"sweepRunner\":{\"workers\":" << pool.workers
+       << ",\"tasks\":" << pool.tasks << ",\"wallSec\":"
+       << pool.wallSeconds << ",\"perWorker\":[";
+    for (unsigned w = 0; w < pool.workers; ++w) {
+        os << (w ? "," : "") << "{\"claimed\":" << pool.claimed[w]
+           << ",\"busySec\":" << pool.busySeconds[w] << "}";
+    }
+    os << "]},\n\"selfProfile\":{\"events\":" << prof_events
+       << ",\"processSec\":" << prof_seconds << ",\"eventsPerSec\":"
+       << (prof_seconds > 0 ? prof_events / prof_seconds : 0)
+       << ",\"byType\":{";
+    {
+        bool first = true;
+        for (const auto &[type, ts] : prof) {
+            os << (first ? "" : ",") << "\n\""
+               << stats::jsonEscape(type) << "\":{\"count\":"
+               << ts.count << ",\"seconds\":" << ts.seconds << "}";
+            first = false;
+        }
+    }
+    os << "}},\n"
        << "\"eventKernel\":{\"events\":" << events
        << ",\"populations\":[";
     for (size_t i = 0; i < 3; ++i) {

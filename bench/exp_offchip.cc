@@ -49,13 +49,20 @@ runOffchipLatency(const exp::Context &ctx)
     apps::MatMulResult mm;
     std::vector<tam::CommCosts> costs(12);
     SweepRunner sweep(ctx.jobs);
+    static const char *const sweep_labels[] = {"offchip-opt",
+                                               "offchip-basic",
+                                               "register-opt"};
     sweep.run(13, [&](size_t i) {
         if (i == 0) {
+            auto ms = ctx.taskMetrics(i, "matmul");
             std::fprintf(stderr, "running matrix multiply...\n");
             mm = apps::runMatMul(n, 4);
             return;
         }
         size_t di = (i - 1) / 3, si = (i - 1) % 3;
+        auto ms = ctx.taskMetrics(
+            i, std::string(sweep_labels[si]) + "@" +
+                   std::to_string(delays[di]));
         if (si == 0) {
             std::fprintf(stderr, "  measuring kernels at delay %u...\n",
                          static_cast<unsigned>(delays[di]));

@@ -215,6 +215,7 @@ runOnNi(const exp::Context &ctx)
     SweepRunner sweep(ctx.jobs);
     std::vector<OnNiResult> results = sweep.map<OnNiResult>(
         infos.size(), [&](size_t mi) {
+            auto ms = ctx.taskMetrics(mi, infos[mi].name);
             std::fprintf(stderr, "  running %s...\n",
                          infos[mi].model.name().c_str());
             return runModel(infos[mi].model, flood, elems);

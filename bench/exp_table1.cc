@@ -85,14 +85,15 @@ measureModel(const ni::Model &model, bool no_overlap)
 
 MeasuredTable
 measureAll(const std::vector<ni::Model> &models, bool no_overlap,
-           unsigned jobs)
+           const exp::Context &ctx)
 {
     // The models are independent simulations: fan them out across the
     // sweep pool.  Results merge by model index, so the table is
     // identical whatever the thread count.
-    SweepRunner sweep(jobs);
+    SweepRunner sweep(ctx.jobs);
     std::vector<ModelCells> columns = sweep.map<ModelCells>(
         models.size(), [&](size_t mi) {
+            auto ms = ctx.taskMetrics(mi, models[mi].name());
             return measureModel(models[mi], no_overlap);
         });
 
@@ -268,7 +269,7 @@ runTable1(const exp::Context &ctx)
         std::cout << "(cache-mapped optimized handlers dispatch "
                      "without the NextMsgIp overlap)\n";
     }
-    MeasuredTable measured = measureAll(models, no_overlap, ctx.jobs);
+    MeasuredTable measured = measureAll(models, no_overlap, ctx);
     printTable("Measured (this reproduction)", labels, measured.cells);
     static const std::vector<std::string> paper_labels{
         "Opt Reg", "Opt On-chip", "Opt Off-chip", "Basic Reg",

@@ -136,6 +136,14 @@ StatGroup::addTimeWeighted(const std::string &name,
 }
 
 void
+StatGroup::addHistogram(const std::string &name,
+                        const metrics::Histogram *stat,
+                        const std::string &desc)
+{
+    entries_.push_back({name, {Entry::Kind::histogram, stat, desc}});
+}
+
+void
 StatGroup::dump(std::ostream &os) const
 {
     auto line = [&](const std::string &stat_name, const std::string &value,
@@ -179,6 +187,22 @@ StatGroup::dump(std::ostream &os) const
             avg_ss << std::fixed << std::setprecision(3) << t->avg();
             line(stat_name + ".avg", avg_ss.str(), entry.desc);
             line(stat_name + ".max", std::to_string(t->max()),
+                 entry.desc);
+            break;
+          }
+          case Entry::Kind::histogram: {
+            auto *h = static_cast<const metrics::Histogram *>(
+                entry.stat);
+            line(stat_name + ".count", std::to_string(h->count()),
+                 entry.desc);
+            std::ostringstream mean_ss;
+            mean_ss << std::fixed << std::setprecision(3) << h->mean();
+            line(stat_name + ".mean", mean_ss.str(), entry.desc);
+            line(stat_name + ".p50",
+                 std::to_string(h->percentile(0.50)), entry.desc);
+            line(stat_name + ".p99",
+                 std::to_string(h->percentile(0.99)), entry.desc);
+            line(stat_name + ".max", std::to_string(h->max()),
                  entry.desc);
             break;
           }
@@ -282,6 +306,19 @@ StatGroup::dumpJson(std::ostream &os) const
             auto *t = static_cast<const TimeWeighted *>(entry.stat);
             os << "{\"avg\":" << statNum(t->avg())
                << ",\"max\":" << t->max() << "}";
+            break;
+          }
+          case Entry::Kind::histogram: {
+            auto *h = static_cast<const metrics::Histogram *>(
+                entry.stat);
+            os << "{\"count\":" << h->count()
+               << ",\"mean\":" << statNum(h->mean())
+               << ",\"min\":" << h->min()
+               << ",\"max\":" << h->max()
+               << ",\"p50\":" << h->percentile(0.50)
+               << ",\"p90\":" << h->percentile(0.90)
+               << ",\"p99\":" << h->percentile(0.99)
+               << ",\"p999\":" << h->percentile(0.999) << "}";
             break;
           }
         }

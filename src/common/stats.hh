@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "metrics/histogram.hh"
 #include "sim/types.hh"
 
 namespace tcpni
@@ -162,6 +163,9 @@ class StatGroup
                          const std::string &desc = "");
     void addTimeWeighted(const std::string &name, const TimeWeighted *stat,
                          const std::string &desc = "");
+    void addHistogram(const std::string &name,
+                      const metrics::Histogram *stat,
+                      const std::string &desc = "");
 
     const std::string &name() const { return name_; }
 
@@ -180,7 +184,8 @@ class StatGroup
   private:
     struct Entry
     {
-        enum class Kind { scalar, vector, dist, timeWeighted } kind;
+        enum class Kind { scalar, vector, dist, timeWeighted,
+                          histogram } kind;
         const void *stat;
         std::string desc;
     };

@@ -23,6 +23,30 @@ Cpu::Cpu(std::string name, EventQueue &eq, Memory &mem,
             pendingInterrupt_ = handler;
         });
     }
+
+    if (auto *r = metrics::registry()) {
+        mgroup_ = r->addGroup(this->name(), eq);
+        mgroup_->addCounter("instructions",
+                            [this] { return instructions_; },
+                            "instructions retired");
+        mgroup_->addCounter("cycles", [this] { return cycles_; },
+                            "cycles consumed (issue + stalls)");
+        mgroup_->addCounter("stall_cycles",
+                            [this] { return stallCycles_; },
+                            "load-use interlock stall cycles");
+        mgroup_->addCounter("ni_stall_cycles",
+                            [this] { return niStallCycles_; },
+                            "cycles stalled on NI SEND (full queue)");
+        mgroup_->addCounter("interrupts_taken",
+                            [this] { return interruptsTaken_; },
+                            "message-arrival interrupts taken");
+    }
+}
+
+Cpu::~Cpu()
+{
+    if (mgroup_)
+        mgroup_->retire();
 }
 
 void

@@ -25,6 +25,42 @@ Hpu::Hpu(std::string name, EventQueue &eq, Memory &mem,
     // No interrupt sink: the HPU *is* the reception path, polling the
     // input registers directly.  Interrupt-driven reception remains a
     // host-CPU facility.
+
+    if (auto *r = metrics::registry()) {
+        mgroup_ = r->addGroup(this->name(), eq);
+        mgroup_->addCounter("instructions",
+                            [this] { return instructions_; },
+                            "instructions retired");
+        mgroup_->addCounter("cycles", [this] { return cycles_; },
+                            "cycles consumed (issue + stalls)");
+        mgroup_->addCounter("stall_cycles",
+                            [this] { return stallCycles_; },
+                            "load-use interlock stall cycles");
+        mgroup_->addCounter("ni_stall_cycles",
+                            [this] { return niStallCycles_; },
+                            "cycles stalled on NI SEND (full queue)");
+        mgroup_->addCounter("handlers_run",
+                            [this] { return handlersRun_; },
+                            "handler activations completed");
+        mgroup_->addCounter("handler_busy_cycles",
+                            [this] { return handlerBusyCycles_; },
+                            "cycles inside handler activations");
+        mgroup_->addCounter("budget_overruns",
+                            [this] { return budgetOverruns_; },
+                            "activations over the handler budget");
+        mgroup_->addCounter("host_proxies",
+                            [this] { return hostProxies_; },
+                            "messages escaped to the host ring");
+        mgroup_->addGauge("max_handler_cycles",
+                          [this] { return maxHandlerCycles_; },
+                          "longest handler activation (cycles)");
+    }
+}
+
+Hpu::~Hpu()
+{
+    if (mgroup_)
+        mgroup_->retire();
 }
 
 void
@@ -68,6 +104,7 @@ Hpu::reset(Addr pc)
     instructions_ = cycles_ = stallCycles_ = niStallCycles_ = 0;
     handlersRun_ = budgetOverruns_ = maxHandlerCycles_ = 0;
     hostProxies_ = 0;
+    handlerBusyCycles_ = 0;
     handlerActive_ = false;
     handlerCycles_ = 0;
     ringPi_ = 0;
@@ -203,6 +240,7 @@ Hpu::endHandler()
 {
     ++handlersRun_;
     maxHandlerCycles_ = std::max(maxHandlerCycles_, handlerCycles_);
+    handlerBusyCycles_ += handlerCycles_;
     // The activation ends with the cycle its NEXT (or halt) retires.
     const Tick end = curTick() + 1;
     TCPNI_TRACE(HPU, "handler end: type %u msg #%llu, %llu cycle(s)",

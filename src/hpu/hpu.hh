@@ -82,6 +82,7 @@ class Hpu : public SimObject
   public:
     Hpu(std::string name, EventQueue &eq, Memory &mem,
         ni::NetworkInterface &ni, HpuConfig config = {});
+    ~Hpu() override;
 
     /** Copy a program image into memory and adopt its cost regions. */
     void loadProgram(const isa::Program &prog);
@@ -113,6 +114,9 @@ class Hpu : public SimObject
     uint64_t maxHandlerCycles() const { return maxHandlerCycles_; }
     /** Messages escaped to the host through the proxy ring. */
     uint64_t hostProxies() const { return hostProxies_; }
+    /** Total cycles spent inside handler activations (occupancy
+     *  numerator; divide by cycles() for HPU utilization). */
+    uint64_t handlerBusyCycles() const { return handlerBusyCycles_; }
     /** The effective handler-time budget (0 = unbounded). */
     Cycles budget() const { return budget_; }
 
@@ -189,6 +193,7 @@ class Hpu : public SimObject
     uint64_t budgetOverruns_ = 0;
     uint64_t maxHandlerCycles_ = 0;
     uint64_t hostProxies_ = 0;
+    uint64_t handlerBusyCycles_ = 0;
 
     /** @{ The activation in flight: valid message being handled. */
     bool handlerActive_ = false;
@@ -213,6 +218,10 @@ class Hpu : public SimObject
     std::vector<uint64_t> regionInsts_{0};
 
     TickEvent tickEvent_;
+
+    /** Telemetry group; null unless a metrics registry was installed
+     *  when this HPU was constructed. */
+    std::shared_ptr<metrics::Group> mgroup_;
 };
 
 } // namespace tcpni

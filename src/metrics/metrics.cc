@@ -1,0 +1,350 @@
+#include "metrics/metrics.hh"
+
+#include <algorithm>
+
+#include "common/stats.hh"
+#include "metrics/sampler.hh"
+#include "sim/event_queue.hh"
+
+namespace tcpni
+{
+namespace metrics
+{
+
+namespace
+{
+
+thread_local Registry *tl_registry = nullptr;
+
+} // namespace
+
+Registry *
+registry()
+{
+    return tl_registry;
+}
+
+void
+setRegistry(Registry *r)
+{
+    tl_registry = r;
+}
+
+// ---------------------------------------------------------------- Group
+
+void
+Group::add(Kind kind, const std::string &name,
+           std::function<uint64_t()> read, const Histogram *hist,
+           const std::string &desc)
+{
+    Series s;
+    s.kind = kind;
+    s.name = name;
+    s.desc = desc;
+    s.id = owner_->internSeries(name_ + "." + name);
+    s.read = std::move(read);
+    s.live = hist;
+    series_.push_back(std::move(s));
+}
+
+void
+Group::addCounter(const std::string &name,
+                  std::function<uint64_t()> read,
+                  const std::string &desc)
+{
+    add(Kind::counter, name, std::move(read), nullptr, desc);
+}
+
+void
+Group::addGauge(const std::string &name, std::function<uint64_t()> read,
+                const std::string &desc)
+{
+    add(Kind::gauge, name, std::move(read), nullptr, desc);
+}
+
+void
+Group::addHistogram(const std::string &name, const Histogram *hist,
+                    const std::string &desc)
+{
+    add(Kind::histogram, name, nullptr, hist, desc);
+}
+
+void
+Group::retire()
+{
+    if (retired_)
+        return;
+    retired_ = true;
+    for (Series &s : series_) {
+        switch (s.kind) {
+          case Kind::counter:
+          case Kind::gauge:
+            if (s.read) {
+                s.value = s.read();
+                if (s.kind == Kind::gauge && s.value > s.peak)
+                    s.peak = s.value;
+            }
+            s.read = nullptr;
+            break;
+          case Kind::histogram:
+            if (s.live)
+                s.hist = *s.live;
+            s.live = nullptr;
+            break;
+        }
+    }
+}
+
+// -------------------------------------------------------------- Registry
+
+Registry::Registry(Tick sample_interval) : interval_(sample_interval)
+{
+}
+
+Registry::~Registry() = default;
+
+std::shared_ptr<Group>
+Registry::addGroup(const std::string &name, EventQueue &eq)
+{
+    uint64_t qid = eq.queueId();
+    if (!haveQueue_ || qid != lastQueueId_) {
+        haveQueue_ = true;
+        lastQueueId_ = qid;
+        ++sims_;
+        // The Sampler's own constructor re-enters addGroup for its
+        // "eventq" group; the queue id now matches, so it lands in
+        // the plain-registration path below.
+        if (interval_ > 0)
+            samplers_.push_back(std::make_unique<Sampler>(
+                "eventq", eq, *this, qid, interval_));
+    }
+    auto g = std::shared_ptr<Group>(
+        new Group(this, name, sims_ - 1, qid));
+    groups_.push_back(g);
+    return g;
+}
+
+uint32_t
+Registry::internSeries(const std::string &full_name)
+{
+    auto it = seriesIds_.find(full_name);
+    if (it != seriesIds_.end())
+        return it->second;
+    uint32_t id = static_cast<uint32_t>(seriesNames_.size());
+    seriesNames_.push_back(full_name);
+    seriesIds_.emplace(full_name, id);
+    return id;
+}
+
+void
+Registry::sampleNow(uint64_t queue_id, Tick tick)
+{
+    for (auto &g : groups_) {
+        if (g->queueId_ != queue_id || g->retired_)
+            continue;
+        for (Group::Series &s : g->series_) {
+            if (s.kind == Kind::histogram)
+                continue;
+            uint64_t v = s.read ? s.read() : s.value;
+            if (s.kind == Kind::gauge && v > s.peak)
+                s.peak = v;
+            if (rows_.size() < maxRows)
+                rows_.push_back({g->sim_, tick, s.id, v});
+            else
+                ++droppedRows_;
+        }
+    }
+}
+
+TaskMetrics
+Registry::finalize(std::string label)
+{
+    for (auto &g : groups_)
+        g->retire();
+
+    TaskMetrics out;
+    out.label = std::move(label);
+    out.sims = sims_;
+    out.seriesNames = seriesNames_;
+    out.rows = std::move(rows_);
+    out.droppedRows = droppedRows_;
+    rows_.clear();
+
+    // Merge same-named groups across the task's simulations:
+    // counters sum, gauges keep {last, peak}, histograms merge.
+    std::map<std::string, size_t> group_index;
+    for (auto &g : groups_) {
+        size_t gi;
+        auto it = group_index.find(g->name());
+        if (it == group_index.end()) {
+            gi = out.groups.size();
+            group_index.emplace(g->name(), gi);
+            out.groups.push_back({g->name(), {}});
+        } else {
+            gi = it->second;
+        }
+        TaskMetrics::GroupResult &mg = out.groups[gi];
+        for (const Group::Series &s : g->series_) {
+            TaskMetrics::SeriesResult *ms = nullptr;
+            for (auto &cand : mg.series) {
+                if (cand.name == s.name) {
+                    ms = &cand;
+                    break;
+                }
+            }
+            if (!ms) {
+                mg.series.emplace_back();
+                ms = &mg.series.back();
+                ms->kind = s.kind;
+                ms->name = s.name;
+                ms->desc = s.desc;
+            }
+            switch (s.kind) {
+              case Kind::counter:
+                ms->value += s.value;
+                break;
+              case Kind::gauge:
+                ms->value = s.value;
+                ms->peak = std::max(ms->peak, s.peak);
+                break;
+              case Kind::histogram:
+                ms->hist.merge(s.hist);
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+// -------------------------------------------- Collector and TaskScope
+
+TaskScope
+Collector::task(size_t slot, std::string label)
+{
+    return TaskScope(this, slot, std::move(label));
+}
+
+void
+Collector::deposit(size_t slot, TaskMetrics &&m)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_[slot] = std::move(m);
+}
+
+void
+Collector::writeJson(std::ostream &os) const
+{
+    using stats::jsonEscape;
+    using stats::jsonNum;
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    os << "{\"schema\":\"tcpni-metrics-1\",\"sampleInterval\":"
+       << interval_ << ",\"tasks\":[";
+    bool first_task = true;
+    for (const auto &[slot, task] : tasks_) {
+        (void)slot;
+        if (!first_task)
+            os << ",";
+        first_task = false;
+        os << "\n{\"label\":\"" << jsonEscape(task.label)
+           << "\",\"sims\":" << task.sims << ",\"groups\":[";
+        bool first_group = true;
+        for (const auto &g : task.groups) {
+            if (!first_group)
+                os << ",";
+            first_group = false;
+            os << "\n{\"name\":\"" << jsonEscape(g.name) << "\"";
+            for (Kind kind : {Kind::counter, Kind::gauge,
+                              Kind::histogram}) {
+                os << ",\""
+                   << (kind == Kind::counter
+                           ? "counters"
+                           : kind == Kind::gauge ? "gauges"
+                                                 : "histograms")
+                   << "\":{";
+                bool first_series = true;
+                for (const auto &s : g.series) {
+                    if (s.kind != kind)
+                        continue;
+                    if (!first_series)
+                        os << ",";
+                    first_series = false;
+                    os << "\"" << jsonEscape(s.name) << "\":";
+                    switch (kind) {
+                      case Kind::counter:
+                        os << s.value;
+                        break;
+                      case Kind::gauge:
+                        os << "{\"last\":" << s.value
+                           << ",\"peak\":" << s.peak << "}";
+                        break;
+                      case Kind::histogram:
+                        os << "{\"count\":" << s.hist.count()
+                           << ",\"min\":" << s.hist.min()
+                           << ",\"max\":" << s.hist.max()
+                           << ",\"mean\":" << jsonNum(s.hist.mean())
+                           << ",\"p50\":" << s.hist.percentile(0.50)
+                           << ",\"p90\":" << s.hist.percentile(0.90)
+                           << ",\"p99\":" << s.hist.percentile(0.99)
+                           << ",\"p999\":"
+                           << s.hist.percentile(0.999) << "}";
+                        break;
+                    }
+                }
+                os << "}";
+            }
+            os << "}";
+        }
+        os << "],\"samples\":{\"dropped\":" << task.droppedRows
+           << ",\"rows\":[";
+        bool first_row = true;
+        for (const SampleRow &r : task.rows) {
+            if (!first_row)
+                os << ",";
+            first_row = false;
+            os << "[" << r.sim << "," << r.tick << ",\""
+               << jsonEscape(task.seriesNames[r.series]) << "\","
+               << r.value << "]";
+        }
+        os << "]}}";
+    }
+    os << "\n]}\n";
+}
+
+void
+Collector::writeCsv(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    os << "label,sim,tick,metric,value\n";
+    for (const auto &[slot, task] : tasks_) {
+        (void)slot;
+        for (const SampleRow &r : task.rows) {
+            os << task.label << "," << r.sim << "," << r.tick << ","
+               << task.seriesNames[r.series] << "," << r.value
+               << "\n";
+        }
+    }
+}
+
+TaskScope::TaskScope(Collector *collector, size_t slot,
+                     std::string label)
+    : collector_(collector), slot_(slot), label_(std::move(label))
+{
+    if (!collector_)
+        return;
+    registry_ =
+        std::make_unique<Registry>(collector_->sampleInterval());
+    prev_ = registry();
+    setRegistry(registry_.get());
+}
+
+TaskScope::~TaskScope()
+{
+    if (!registry_)
+        return;
+    setRegistry(prev_);
+    collector_->deposit(slot_, registry_->finalize(label_));
+}
+
+} // namespace metrics
+} // namespace tcpni

@@ -38,16 +38,65 @@ NetworkInterface::NetworkInterface(std::string name, EventQueue &eq,
                           "privileged/PIN-mismatched messages queued");
     statGroup().addScalar("interrupts", &interrupts_,
                           "message-arrival interrupts delivered");
-    statGroup().addDistribution("e2eLatency", &e2eLatency_,
-                                "send-enqueue to dispatch (cycles)");
-    statGroup().addDistribution("netLatency", &netLatency_,
-                                "send-enqueue to arrival (cycles)");
-    statGroup().addDistribution("queueLatency", &queueLatency_,
-                                "arrival to dispatch (cycles)");
+    statGroup().addHistogram("e2eLatency", &e2eLatency_,
+                             "send-enqueue to dispatch (cycles)");
+    statGroup().addHistogram("netLatency", &netLatency_,
+                             "send-enqueue to arrival (cycles)");
+    statGroup().addHistogram("queueLatency", &queueLatency_,
+                             "arrival to dispatch (cycles)");
     statGroup().addTimeWeighted("inputOccupancy", &inputOcc_,
                                 "time-weighted input queue depth");
     statGroup().addTimeWeighted("outputOccupancy", &outputOcc_,
                                 "time-weighted output queue depth");
+
+    if (auto *r = metrics::registry()) {
+        mgroup_ = r->addGroup(this->name(), eq);
+        mgroup_->addCounter("sent", [this] { return sent_.value(); },
+                            "messages injected");
+        mgroup_->addCounter("received",
+                            [this] { return received_.value(); },
+                            "messages accepted");
+        mgroup_->addCounter("refused",
+                            [this] { return refused_.value(); },
+                            "deliveries refused (input queue full)");
+        mgroup_->addCounter("overflow_exc",
+                            [this] { return overflowExc_.value(); },
+                            "output-overflow exceptions raised");
+        mgroup_->addCounter("priv_received",
+                            [this] { return privReceived_.value(); },
+                            "privileged/PIN-mismatched messages");
+        mgroup_->addCounter("interrupts",
+                            [this] { return interrupts_.value(); },
+                            "message-arrival interrupts delivered");
+        mgroup_->addCounter("oq.stall_cycles",
+                            [this] { return oqStallCycles_; },
+                            "cycles SEND stalled on a full output "
+                            "queue");
+        mgroup_->addCounter("iq.full_crossings",
+                            [this] { return iafullCrossings_; },
+                            "iafull threshold rising edges");
+        mgroup_->addCounter("oq.full_crossings",
+                            [this] { return oafullCrossings_; },
+                            "oafull threshold rising edges");
+        mgroup_->addGauge("iq.depth",
+                          [this] { return inputQueue_.size(); },
+                          "input queue depth");
+        mgroup_->addGauge("oq.depth",
+                          [this] { return outputQueue_.size(); },
+                          "output queue depth");
+        mgroup_->addHistogram("e2e_latency", &e2eLatency_,
+                              "send-enqueue to dispatch (cycles)");
+        mgroup_->addHistogram("net_latency", &netLatency_,
+                              "send-enqueue to arrival (cycles)");
+        mgroup_->addHistogram("queue_latency", &queueLatency_,
+                              "arrival to dispatch (cycles)");
+    }
+}
+
+NetworkInterface::~NetworkInterface()
+{
+    if (mgroup_)
+        mgroup_->retire();
 }
 
 void
@@ -268,6 +317,7 @@ NetworkInterface::enqueueSend(Message msg)
             // queue empties.
             TCPNI_TRACE(NI, "SEND stalls: output queue full (%zu)",
                         outputQueue_.size());
+            ++oqStallCycles_;
             return CmdResult::stall;
         }
         ++overflowExc_;
@@ -296,6 +346,7 @@ NetworkInterface::enqueueSend(Message msg)
     ++sent_;
     noteQueueLevels();
     if (!was_oafull && oafull()) {
+        ++oafullCrossings_;
         TCPNI_TRACE(NI, "oafull asserted (output queue %zu > "
                     "threshold %u)", outputQueue_.size(),
                     outThreshold());
@@ -396,8 +447,8 @@ NetworkInterface::refill()
     inputValid_ = true;
 
     // Lifecycle: the message is now visible to the handler.
-    e2eLatency_.sample(static_cast<double>(curTick() - m.injectTick));
-    queueLatency_.sample(static_cast<double>(curTick() - m.arriveTick));
+    e2eLatency_.record(curTick() - m.injectTick);
+    queueLatency_.record(curTick() - m.arriveTick);
     if (m.traceId != 0) {
         if (auto *s = trace::sink())
             s->record(m.traceId, trace::Stage::dispatch, node_,
@@ -501,7 +552,7 @@ NetworkInterface::acceptFromNetwork(const Message &msg)
         m.injectTick = curTick();
     }
     m.arriveTick = curTick();
-    netLatency_.sample(static_cast<double>(curTick() - m.injectTick));
+    netLatency_.record(curTick() - m.injectTick);
     if (auto *s = trace::sink())
         s->record(m.traceId, trace::Stage::arrive, node_, curTick(),
                   m.type);
@@ -514,6 +565,7 @@ NetworkInterface::acceptFromNetwork(const Message &msg)
     ++received_;
     noteQueueLevels();
     if (!was_iafull && iafull()) {
+        ++iafullCrossings_;
         TCPNI_TRACE(NI, "iafull asserted (input queue %zu > "
                     "threshold %u)", inputQueue_.size(), inThreshold());
     }

@@ -30,10 +30,12 @@
 
 #include <deque>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/stats.hh"
 #include "isa/isa.hh"
+#include "metrics/metrics.hh"
 #include "ni/config.hh"
 #include "ni/ni_regs.hh"
 #include "noc/network.hh"
@@ -57,6 +59,7 @@ class NetworkInterface : public SimObject
   public:
     NetworkInterface(std::string name, EventQueue &eq, NodeId node,
                      Network &network, NiConfig config);
+    ~NetworkInterface() override;
 
     const NiConfig &config() const { return config_; }
     NodeId node() const { return node_; }
@@ -124,9 +127,9 @@ class NetworkInterface : public SimObject
 
     /** @{ Latency and occupancy statistics (see the stat
      *     descriptions registered in the constructor). */
-    const stats::Distribution &e2eLatency() const { return e2eLatency_; }
-    const stats::Distribution &netLatency() const { return netLatency_; }
-    const stats::Distribution &queueLatency() const
+    const metrics::Histogram &e2eLatency() const { return e2eLatency_; }
+    const metrics::Histogram &netLatency() const { return netLatency_; }
+    const metrics::Histogram &queueLatency() const
     {
         return queueLatency_;
     }
@@ -247,17 +250,30 @@ class NetworkInterface : public SimObject
     stats::Scalar overflowExc_;
     stats::Scalar privReceived_;
 
-    /** @{ Message-latency distributions (cycles), sampled when a
-     *     message advances into the input registers. */
-    stats::Distribution e2eLatency_{0, 200, 20};   //!< send -> dispatch
-    stats::Distribution netLatency_{0, 100, 20};   //!< send -> arrival
-    stats::Distribution queueLatency_{0, 100, 20}; //!< arrival -> disp
+    /** @{ Message-latency histograms (cycles), recorded when a
+     *     message advances into the input registers; HDR-bucketed so
+     *     tail percentiles (p99/p999) stay exact-to-3% however long
+     *     the run. */
+    metrics::Histogram e2eLatency_;    //!< send -> dispatch
+    metrics::Histogram netLatency_;    //!< send -> arrival
+    metrics::Histogram queueLatency_;  //!< arrival -> dispatch
     /** @} */
 
     /** @{ Time-weighted input/output queue occupancy. */
     stats::TimeWeighted inputOcc_;
     stats::TimeWeighted outputOcc_;
     /** @} */
+
+    /** @{ Hardware-style event counters (always maintained; the cost
+     *     is one increment on an already-rare path). */
+    uint64_t oqStallCycles_ = 0;    //!< SEND stall cycles (full queue)
+    uint64_t iafullCrossings_ = 0;  //!< iafull rising edges
+    uint64_t oafullCrossings_ = 0;  //!< oafull rising edges
+    /** @} */
+
+    /** Telemetry group; null unless a metrics registry was installed
+     *  when this NI was constructed. */
+    std::shared_ptr<metrics::Group> mgroup_;
 };
 
 } // namespace ni

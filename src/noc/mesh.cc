@@ -16,8 +16,52 @@ MeshNetwork::MeshNetwork(std::string name, EventQueue &eq, unsigned width,
 {
     tcpni_assert(width_ > 0 && height_ > 0);
     tcpni_assert(bufferDepth_ > 0);
-    statGroup().addDistribution("latency", &latency_,
-                                "end-to-end message latency (cycles)");
+    statGroup().addHistogram("latency", &latency_,
+                             "end-to-end message latency (cycles)");
+
+    if (auto *reg = metrics::registry()) {
+        mgroup_ = reg->addGroup(this->name(), eventq());
+        mgroup_->addCounter("injected", [this] { return injected_; },
+                            "messages accepted into the fabric");
+        mgroup_->addGauge("occupied", [this] { return occupied_; },
+                          "messages resident in router queues");
+        mgroup_->addHistogram("latency", &latency_,
+                              "inject to eject (cycles)");
+
+        // Per-link utilization counters: these feed the congestion
+        // heatmap, one series triple per (router, output port).
+        linkStats_ = true;
+        linkXfers_.assign(numNodes() * numPorts, 0);
+        linkBusy_.assign(numNodes() * numPorts, 0);
+        linkBlocked_.assign(numNodes() * numPorts, 0);
+        static const char *const port_names[numPorts] = {
+            "local", "north", "south", "east", "west"};
+        for (NodeId r = 0; r < numNodes(); ++r) {
+            for (unsigned p = 0; p < numPorts; ++p) {
+                const size_t li = r * numPorts + p;
+                const std::string base = "node" + std::to_string(r) +
+                                         "." + port_names[p];
+                mgroup_->addCounter(
+                    base + ".xfers",
+                    [this, li] { return linkXfers_[li]; },
+                    "messages forwarded over this link");
+                mgroup_->addCounter(
+                    base + ".busy_cycles",
+                    [this, li] { return linkBusy_[li]; },
+                    "cycles this link spent transferring");
+                mgroup_->addCounter(
+                    base + ".blocked_cycles",
+                    [this, li] { return linkBlocked_[li]; },
+                    "cycles a ready message waited for this link");
+            }
+        }
+    }
+}
+
+MeshNetwork::~MeshNetwork()
+{
+    if (mgroup_)
+        mgroup_->retire();
 }
 
 MeshNetwork::Port
@@ -117,6 +161,23 @@ MeshNetwork::idle() const
     return occupied_ == 0;
 }
 
+bool
+MeshNetwork::hasWaiter(const RouterState &router, NodeId r, Port out,
+                       Tick now) const
+{
+    for (unsigned in = 0; in < numPorts; ++in) {
+        const auto &q = router.inq[in];
+        if (q.empty())
+            continue;
+        const InFlight &head = q.front();
+        if (head.movedAt == now)
+            continue;
+        if (route(r, head.msg.dest()) == out)
+            return true;
+    }
+    return false;
+}
+
 void
 MeshNetwork::tick()
 {
@@ -132,8 +193,13 @@ MeshNetwork::tick()
         for (Port out : outputs) {
             unsigned out_idx = static_cast<unsigned>(out);
             // Link serialization: a long message holds the port.
-            if (router.busyUntil[out_idx] > now)
+            if (router.busyUntil[out_idx] > now) {
+                if (linkStats_ && hasWaiter(router, r, out, now))
+                    ++linkBlocked_[r * numPorts + out_idx];
                 continue;
+            }
+            bool moved_any = false;
+            bool contended = false;
             // Round-robin over input ports for this output.
             for (unsigned k = 0; k < numPorts; ++k) {
                 unsigned in_idx = (router.rr[out_idx] + k) % numPorts;
@@ -148,13 +214,13 @@ MeshNetwork::tick()
                     continue;
                 if (route(r, head.msg.dest()) != out)
                     continue;
+                contended = true;
                 const size_t head_len = head.msg.length();
 
                 bool moved = false;
                 if (out == Port::local) {
                     if (deliver(head.msg)) {
-                        latency_.sample(
-                            static_cast<double>(now - head.injectTick));
+                        latency_.record(now - head.injectTick);
                         TCPNI_TRACE(NOC, "eject id=%llu at node %u "
                                     "(%llu cycles in fabric)",
                                     static_cast<unsigned long long>(
@@ -190,9 +256,23 @@ MeshNetwork::tick()
                             now + static_cast<Tick>(cyclesPerWord_) *
                                       head_len;
                     }
+                    if (linkStats_) {
+                        const size_t li = r * numPorts + out_idx;
+                        ++linkXfers_[li];
+                        linkBusy_[li] +=
+                            cyclesPerWord_ > 0
+                                ? static_cast<uint64_t>(
+                                      cyclesPerWord_) * head_len
+                                : 1;
+                    }
+                    moved_any = true;
                     break;
                 }
             }
+            // A ready head wanted this output but nothing moved:
+            // charge one contention cycle to the link.
+            if (linkStats_ && contended && !moved_any)
+                ++linkBlocked_[r * numPorts + out_idx];
         }
     }
 

@@ -24,9 +24,11 @@
 #define TCPNI_NOC_MESH_HH
 
 #include <deque>
+#include <memory>
 #include <vector>
 
 #include "common/stats.hh"
+#include "metrics/metrics.hh"
 #include "noc/network.hh"
 
 namespace tcpni
@@ -51,6 +53,7 @@ class MeshNetwork : public Network
     MeshNetwork(std::string name, EventQueue &eq, unsigned width,
                 unsigned height, unsigned buffer_depth = 4,
                 unsigned cycles_per_word = 0);
+    ~MeshNetwork() override;
 
     bool offer(NodeId src, const Message &msg) override;
     bool idle() const override;
@@ -66,7 +69,7 @@ class MeshNetwork : public Network
     size_t queueDepth(NodeId node, Port port) const;
 
     uint64_t injected() const { return injected_; }
-    const stats::Distribution &latencyDist() const { return latency_; }
+    const metrics::Histogram &latencyDist() const { return latency_; }
 
   private:
     static constexpr unsigned numPorts = 5;
@@ -105,6 +108,11 @@ class MeshNetwork : public Network
     NodeId neighbor(NodeId here, Port out) const;
     static Port inputPortFor(Port out);
 
+    /** True when some head wants output @p out of router @p r and has
+     *  not already advanced this cycle (link-contention accounting). */
+    bool hasWaiter(const RouterState &router, NodeId r, Port out,
+                   Tick now) const;
+
     unsigned width_, height_, bufferDepth_;
     unsigned cyclesPerWord_;
     std::vector<RouterState> routers_;
@@ -112,7 +120,18 @@ class MeshNetwork : public Network
 
     uint64_t injected_ = 0;
     uint64_t occupied_ = 0;     //!< total messages in router queues
-    stats::Distribution latency_{0, 200, 20};
+    metrics::Histogram latency_;
+
+    /** @{ Per-link accounting (index router * numPorts + port),
+     *     maintained only when telemetry is on -- the tick loop is
+     *     the simulator's hottest path. */
+    bool linkStats_ = false;
+    std::vector<uint64_t> linkXfers_;    //!< messages moved per link
+    std::vector<uint64_t> linkBusy_;     //!< busy (flit-)cycles
+    std::vector<uint64_t> linkBlocked_;  //!< cycles a waiter stalled
+    /** @} */
+
+    std::shared_ptr<metrics::Group> mgroup_;
 };
 
 } // namespace tcpni

@@ -1,12 +1,59 @@
 #include "sim/event_queue.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 
 #include "common/logging.hh"
 #include "common/trace.hh"
 
 namespace tcpni
 {
+
+namespace evprof
+{
+
+namespace
+{
+thread_local bool tl_enabled = false;
+thread_local Profile tl_profile;
+} // namespace
+
+void
+setEnabled(bool on)
+{
+    tl_enabled = on;
+}
+
+bool
+enabled()
+{
+    return tl_enabled;
+}
+
+Profile
+take()
+{
+    Profile out = std::move(tl_profile);
+    tl_profile.clear();
+    return out;
+}
+
+void
+detail::account(const std::string &type, double seconds)
+{
+    TypeStats &s = tl_profile[type];
+    ++s.count;
+    s.seconds += seconds;
+}
+
+} // namespace evprof
+
+namespace
+{
+/** Allocator for EventQueue::queueId(): 1-based, never reused. */
+std::atomic<uint64_t> nextQueueId{1};
+} // namespace
 
 Event::~Event()
 {
@@ -15,7 +62,9 @@ Event::~Event()
     // destructor.
 }
 
-EventQueue::EventQueue(Impl impl) : impl_(impl)
+EventQueue::EventQueue(Impl impl)
+    : impl_(impl), queueId_(nextQueueId.fetch_add(1)),
+      profile_(evprof::enabled())
 {
     if (impl_ == Impl::calendar)
         ring_.resize(ringSize_);
@@ -176,6 +225,16 @@ EventQueue::fire(const Entry &e)
     ++numProcessed_;
     TCPNI_TRACE_AT(EVENT, e.when, "eventq", "fire %s pri=%d",
                    e.ev->name().c_str(), e.priority);
+    if (profile_) {
+        // Take the name first: process() may invalidate the event.
+        std::string type = e.ev->name();
+        auto start = std::chrono::steady_clock::now();
+        e.ev->process();
+        std::chrono::duration<double> dt =
+            std::chrono::steady_clock::now() - start;
+        evprof::detail::account(type, dt.count());
+        return;
+    }
     e.ev->process();
 }
 

@@ -32,6 +32,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <queue>
 #include <string>
 #include <vector>
@@ -42,6 +43,43 @@ namespace tcpni
 {
 
 class EventQueue;
+
+/**
+ * Host-side event-kernel self-profiling.
+ *
+ * When enabled on a thread (before its EventQueues are constructed),
+ * every queue times each Event::process() call with the host's steady
+ * clock and attributes the wall time to the event's name().  The
+ * accumulated per-type profile is thread-local; take() moves it out.
+ * Intended for BENCH_host-style runs only -- the per-event name()
+ * call and clock reads are far too slow to leave on by default, which
+ * is why each queue latches the flag once at construction.
+ */
+namespace evprof
+{
+
+struct TypeStats
+{
+    uint64_t count = 0;
+    double seconds = 0;
+};
+
+using Profile = std::map<std::string, TypeStats>;
+
+/** Enable or disable profiling for queues later constructed on this
+ *  thread. */
+void setEnabled(bool on);
+bool enabled();
+
+/** Move out (and clear) this thread's accumulated profile. */
+Profile take();
+
+namespace detail
+{
+void account(const std::string &type, double seconds);
+} // namespace detail
+
+} // namespace evprof
 
 /**
  * An event that can be scheduled on an EventQueue.
@@ -163,6 +201,16 @@ class EventQueue
      */
     uint64_t nextTraceId() { return nextTraceId_++; }
 
+    /**
+     * Process-unique id of this queue (monotonic, never reused).
+     * Lets observers distinguish "a new simulation started" from "the
+     * same stack slot was reused for another EventQueue", which raw
+     * addresses cannot.  The id is never part of simulation output,
+     * so its process-global allocation order does not perturb
+     * determinism.
+     */
+    uint64_t queueId() const { return queueId_; }
+
   private:
     struct Entry
     {
@@ -232,6 +280,9 @@ class EventQueue
     void fire(const Entry &e);
 
     Impl impl_;
+    uint64_t queueId_;
+    /** Latched evprof::enabled() at construction (hot-path guard). */
+    bool profile_;
     Tick curTick_ = 0;
     uint64_t nextSeq_ = 0;
     uint64_t numProcessed_ = 0;

@@ -1,12 +1,15 @@
 #include "sim/experiment.hh"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "common/logging.hh"
 #include "common/trace.hh"
+#include "metrics/metrics.hh"
 
 namespace tcpni
 {
@@ -34,6 +37,18 @@ printUsage(const Experiment &e, const char *prog)
     std::fprintf(stderr,
                  "  --jobs N       worker threads (default: hardware "
                  "concurrency)\n");
+    std::fprintf(stderr,
+                 "  --metrics      collect performance-counter "
+                 "telemetry\n"
+                 "  --metrics-out BASE\n"
+                 "                 telemetry file base: writes "
+                 "BASE.json + BASE.csv\n"
+                 "                 (default: <json file>.metrics, or "
+                 "'metrics'; implies --metrics)\n"
+                 "  --sample-interval N\n"
+                 "                 time-series sample period in ticks, "
+                 "0 disables\n"
+                 "                 (default 1024; implies --metrics)\n");
     if (e.acceptsJson)
         std::fprintf(stderr, "  --json FILE    write results as JSON\n");
     if (e.acceptsTrace) {
@@ -82,6 +97,14 @@ Context::given(const std::string &flag) const
     return explicitFlags.count(flag) != 0;
 }
 
+metrics::TaskScope
+Context::taskMetrics(size_t slot, std::string label) const
+{
+    // TaskScope tolerates a null collector (inert scope), so the
+    // metrics-off path costs one pointer store per task.
+    return metrics::TaskScope(metricsCollector, slot, std::move(label));
+}
+
 void
 Context::writeJson(
     const std::function<void(std::ostream &)> &writer) const
@@ -127,10 +150,24 @@ runExperiment(const ExperimentRegistry &reg, const std::string &name,
     for (const ParamSpec &p : e->params)
         ctx.values[p.flag] = p.isSwitch ? "0" : p.def;
 
+    bool metrics_on = false;
+    std::string metrics_out;
+    Tick sample_interval = 1024;
+
     for (int i = 0; i < argc; ++i) {
         const char *a = argv[i];
         if (!std::strcmp(a, "--jobs") && i + 1 < argc) {
             ctx.jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (!std::strcmp(a, "--metrics")) {
+            metrics_on = true;
+        } else if (!std::strcmp(a, "--metrics-out") && i + 1 < argc) {
+            metrics_out = argv[++i];
+            metrics_on = true;
+        } else if (!std::strcmp(a, "--sample-interval") &&
+                   i + 1 < argc) {
+            sample_interval =
+                static_cast<Tick>(std::strtoull(argv[++i], nullptr, 10));
+            metrics_on = true;
         } else if (e->acceptsJson && !std::strcmp(a, "--json") &&
                    i + 1 < argc) {
             ctx.jsonFile = argv[++i];
@@ -165,9 +202,32 @@ runExperiment(const ExperimentRegistry &reg, const std::string &name,
         ctx.jobs = 1;
     }
 
+    std::unique_ptr<metrics::Collector> collector;
+    if (metrics_on) {
+        if (metrics_out.empty()) {
+            metrics_out = ctx.jsonFile.empty()
+                              ? "metrics"
+                              : ctx.jsonFile + ".metrics";
+        }
+        collector =
+            std::make_unique<metrics::Collector>(sample_interval);
+        ctx.metricsCollector = collector.get();
+    }
+
     logging::quiet = true;
 
-    int rc = e->run(ctx);
+    // Run under an exception guard: a SimError escaping the experiment
+    // (a panic in throw mode) must not lose the telemetry gathered so
+    // far -- in particular the Chrome trace must still be valid,
+    // closed JSON so the run that died is the one you can inspect.
+    int rc = 0;
+    std::string error;
+    try {
+        rc = e->run(ctx);
+    } catch (const SimError &err) {
+        error = err.what();
+        rc = 1;
+    }
 
     if (!ctx.traceFile.empty()) {
         trace::setSink(nullptr);
@@ -179,6 +239,26 @@ runExperiment(const ExperimentRegistry &reg, const std::string &name,
                   << lifecycle_sink.completeLifecycles()
                   << " complete message lifecycles) to " << ctx.traceFile
                   << "\n";
+    }
+
+    if (collector) {
+        const std::string json_path = metrics_out + ".json";
+        const std::string csv_path = metrics_out + ".csv";
+        std::ofstream js(json_path);
+        if (!js)
+            fatal("cannot open metrics file '%s'", json_path.c_str());
+        collector->writeJson(js);
+        std::ofstream cs(csv_path);
+        if (!cs)
+            fatal("cannot open metrics file '%s'", csv_path.c_str());
+        collector->writeCsv(cs);
+        std::cout << "wrote metrics telemetry to " << json_path
+                  << " and " << csv_path << "\n";
+    }
+
+    if (!error.empty()) {
+        std::fprintf(stderr, "experiment '%s' aborted: %s\n",
+                     e->name.c_str(), error.c_str());
     }
     return rc;
 }

@@ -20,17 +20,31 @@
  *  - logging::quiet is set for the duration of the run.
  *  - Context::writeJson() opens the --json file (fatal on failure),
  *    invokes the writer, and prints the standard epilogue line.
+ *  - `--metrics` (or `--metrics-out` / `--sample-interval`, which
+ *    imply it) creates a metrics::Collector for the run; experiments
+ *    opt their sweep tasks in with Context::taskMetrics().  After
+ *    run() returns -- or throws -- the driver writes BASE.json and
+ *    BASE.csv in the "tcpni-metrics-1" schema.  With metrics off the
+ *    collector is null and every instrumentation site reduces to one
+ *    null-pointer test, keeping stdout and JSON bit-identical.
+ *  - run() is exception-guarded: a SimError escaping an experiment
+ *    still flushes the Chrome trace (valid, closed JSON) and the
+ *    metrics files before the driver reports the error and returns 1.
  */
 
 #ifndef TCPNI_SIM_EXPERIMENT_HH
 #define TCPNI_SIM_EXPERIMENT_HH
 
+#include <cstddef>
 #include <functional>
 #include <iosfwd>
 #include <map>
 #include <set>
 #include <string>
 #include <vector>
+
+#include "metrics/metrics.hh"
+#include "sim/types.hh"
 
 namespace tcpni
 {
@@ -54,6 +68,20 @@ class Context
     unsigned jobs = 0;      //!< --jobs (0: hardware concurrency)
     std::string jsonFile;   //!< --json FILE ("" when absent)
     std::string traceFile;  //!< --trace FILE ("" when absent)
+
+    /** Run-wide telemetry accumulator; null unless --metrics (or a
+     *  flag implying it) was given. */
+    metrics::Collector *metricsCollector = nullptr;
+
+    /**
+     * Begin telemetry for sweep slot @p slot labelled @p label.
+     * Declare the returned scope FIRST in the task body, before any
+     * simulation objects, so it outlives (and thus observes the
+     * retirement of) everything it registers.  Inert when metrics are
+     * off.
+     */
+    metrics::TaskScope taskMetrics(size_t slot,
+                                   std::string label) const;
 
     /** Parameter value by flag (e.g. "--n"); default when unset. */
     const std::string &str(const std::string &flag) const;

@@ -1,6 +1,7 @@
 #include "sim/sweep.hh"
 
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -25,12 +26,29 @@ void
 SweepRunner::run(std::size_t n,
                  const std::function<void(std::size_t)> &task) const
 {
+    using clock = std::chrono::steady_clock;
+    using seconds = std::chrono::duration<double>;
+
+    lastStats_ = RunStats{};
+    lastStats_.tasks = n;
     if (n == 0)
         return;
 
+    const auto run_start = clock::now();
+
     if (jobs_ == 1 || n == 1) {
-        for (std::size_t i = 0; i < n; ++i)
+        lastStats_.workers = 1;
+        lastStats_.claimed.assign(1, 0);
+        lastStats_.busySeconds.assign(1, 0);
+        for (std::size_t i = 0; i < n; ++i) {
+            const auto t0 = clock::now();
             task(i);
+            lastStats_.busySeconds[0] +=
+                seconds(clock::now() - t0).count();
+            ++lastStats_.claimed[0];
+        }
+        lastStats_.wallSeconds =
+            seconds(clock::now() - run_start).count();
         return;
     }
 
@@ -43,11 +61,19 @@ SweepRunner::run(std::size_t n,
     std::size_t firstErrIndex = n;
     std::exception_ptr firstErr;
 
-    auto worker = [&]() {
+    const unsigned nthreads =
+        static_cast<unsigned>(std::min<std::size_t>(jobs_, n));
+    lastStats_.workers = nthreads;
+    lastStats_.claimed.assign(nthreads, 0);
+    lastStats_.busySeconds.assign(nthreads, 0);
+
+    auto worker = [&](unsigned wi) {
         while (!failed.load(std::memory_order_relaxed)) {
             std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
             if (i >= n)
                 return;
+            ++lastStats_.claimed[wi];
+            const auto t0 = clock::now();
             try {
                 task(i);
             } catch (...) {
@@ -58,17 +84,19 @@ SweepRunner::run(std::size_t n,
                     firstErr = std::current_exception();
                 }
             }
+            lastStats_.busySeconds[wi] +=
+                seconds(clock::now() - t0).count();
         }
     };
 
-    const unsigned nthreads =
-        static_cast<unsigned>(std::min<std::size_t>(jobs_, n));
     std::vector<std::thread> pool;
     pool.reserve(nthreads);
     for (unsigned t = 0; t < nthreads; ++t)
-        pool.emplace_back(worker);
+        pool.emplace_back(worker, t);
     for (std::thread &t : pool)
         t.join();
+
+    lastStats_.wallSeconds = seconds(clock::now() - run_start).count();
 
     if (firstErr)
         std::rethrow_exception(firstErr);

@@ -22,6 +22,7 @@
 #define TCPNI_SIM_SWEEP_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -31,8 +32,27 @@ namespace tcpni
 class SweepRunner
 {
   public:
+    /**
+     * Host-side accounting of the last run(): how evenly the atomic
+     * work claiming spread the points across the pool, and how much
+     * of each worker's lifetime was spent inside tasks (the rest is
+     * claim overhead plus idling after the work ran out).  Feeds the
+     * BENCH_host self-profile; never touches simulated state.
+     */
+    struct RunStats
+    {
+        unsigned workers = 0;            //!< threads used (1 = inline)
+        std::size_t tasks = 0;           //!< points executed
+        std::vector<uint64_t> claimed;   //!< tasks claimed per worker
+        std::vector<double> busySeconds; //!< in-task time per worker
+        double wallSeconds = 0;          //!< whole-run wall time
+    };
+
     /** @param jobs worker count; 0 means defaultJobs(). */
     explicit SweepRunner(unsigned jobs = 0);
+
+    /** Accounting for the most recent run() (empty before any run). */
+    const RunStats &lastRunStats() const { return lastStats_; }
 
     unsigned jobs() const { return jobs_; }
 
@@ -68,6 +88,9 @@ class SweepRunner
 
   private:
     unsigned jobs_;
+    /** run() is logically const (the sweep configuration does not
+     *  change); the accounting is a host-side side channel. */
+    mutable RunStats lastStats_;
 };
 
 } // namespace tcpni

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Unit tests for the log-bucketed latency histogram: bucket-boundary
+ * math, exact small-N percentiles against a sorted-vector oracle,
+ * bounded relative error for large values, and per-thread merge.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "metrics/histogram.hh"
+
+namespace tcpni::metrics
+{
+namespace
+{
+
+/** Nearest-rank percentile on the raw sample vector. */
+uint64_t
+oracle(std::vector<uint64_t> v, double q)
+{
+    std::sort(v.begin(), v.end());
+    size_t rank = static_cast<size_t>(std::ceil(q * v.size()));
+    rank = std::max<size_t>(rank, 1);
+    rank = std::min(rank, v.size());
+    return v[rank - 1];
+}
+
+TEST(Histogram, SmallValuesHaveExactBuckets)
+{
+    // Values below the sub-bucket count index themselves.
+    for (uint64_t v = 0; v < 64; ++v) {
+        EXPECT_EQ(Histogram::bucketIndex(v), v);
+        EXPECT_EQ(Histogram::bucketLow(v), v);
+        EXPECT_EQ(Histogram::bucketHigh(v), v);
+    }
+}
+
+TEST(Histogram, BucketBoundaries)
+{
+    // The first log bucket starts exactly where the unit buckets end.
+    EXPECT_EQ(Histogram::bucketIndex(63), 63u);
+    EXPECT_EQ(Histogram::bucketIndex(64), 64u);
+    EXPECT_EQ(Histogram::bucketLow(64), 64u);
+    EXPECT_EQ(Histogram::bucketHigh(64), 65u);
+    // Last bucket of the first log half-decade: [126, 127].
+    EXPECT_EQ(Histogram::bucketIndex(127), 95u);
+    EXPECT_EQ(Histogram::bucketLow(95), 126u);
+    EXPECT_EQ(Histogram::bucketHigh(95), 127u);
+    // The next half-decade doubles the bucket width.
+    EXPECT_EQ(Histogram::bucketIndex(128), 96u);
+    EXPECT_EQ(Histogram::bucketLow(96), 128u);
+    EXPECT_EQ(Histogram::bucketHigh(96), 131u);
+}
+
+TEST(Histogram, BucketRoundTrip)
+{
+    // Every value lands inside its bucket's [low, high] range, and
+    // both endpoints map back to the same bucket.
+    std::vector<uint64_t> probes;
+    for (uint64_t v = 0; v < 2048; ++v)
+        probes.push_back(v);
+    for (int s = 11; s < 63; ++s) {
+        probes.push_back((uint64_t{1} << s) - 1);
+        probes.push_back(uint64_t{1} << s);
+        probes.push_back((uint64_t{1} << s) + 12345 % (uint64_t{1} << s));
+    }
+    probes.push_back(UINT64_MAX);
+    for (uint64_t v : probes) {
+        unsigned idx = Histogram::bucketIndex(v);
+        uint64_t lo = Histogram::bucketLow(idx);
+        uint64_t hi = Histogram::bucketHigh(idx);
+        EXPECT_LE(lo, v) << "v=" << v;
+        EXPECT_GE(hi, v) << "v=" << v;
+        EXPECT_EQ(Histogram::bucketIndex(lo), idx) << "v=" << v;
+        EXPECT_EQ(Histogram::bucketIndex(hi), idx) << "v=" << v;
+        // Bounded relative width: the HDR guarantee.
+        EXPECT_LE(hi - lo, lo / 32 + 1) << "v=" << v;
+    }
+}
+
+TEST(Histogram, ExactStatsAndCounts)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    h.record(7);
+    h.record(3, 2);
+    h.record(1000);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.sum(), 7u + 3 + 3 + 1000);
+    EXPECT_EQ(h.min(), 3u);
+    EXPECT_EQ(h.max(), 1000u);
+    EXPECT_DOUBLE_EQ(h.mean(), (7.0 + 3 + 3 + 1000) / 4);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0u);
+}
+
+TEST(Histogram, SmallNPercentilesMatchOracleExactly)
+{
+    // All samples below 64 sit in exact unit buckets, so every
+    // percentile must equal the nearest-rank oracle.
+    std::vector<uint64_t> samples{5, 1, 9, 3, 3, 60, 22, 0, 17, 42, 8};
+    Histogram h;
+    for (uint64_t v : samples)
+        h.record(v);
+    for (double q : {0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0})
+        EXPECT_EQ(h.percentile(q), oracle(samples, q)) << "q=" << q;
+}
+
+TEST(Histogram, SingleSamplePercentiles)
+{
+    Histogram h;
+    h.record(123456);
+    // Whatever the quantile, the only sample is the answer (the
+    // bucket bound is clamped to [min, max]).
+    for (double q : {0.0, 0.5, 0.99, 1.0})
+        EXPECT_EQ(h.percentile(q), 123456u);
+}
+
+TEST(Histogram, LargeValuePercentilesWithinRelativeErrorBound)
+{
+    // A deterministic LCG stream spanning several decades.
+    std::vector<uint64_t> samples;
+    uint64_t state = 12345;
+    for (int i = 0; i < 5000; ++i) {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        samples.push_back((state >> 20) % 10'000'000);
+    }
+    Histogram h;
+    for (uint64_t v : samples)
+        h.record(v);
+    for (double q : {0.5, 0.9, 0.99, 0.999}) {
+        uint64_t want = oracle(samples, q);
+        uint64_t got = h.percentile(q);
+        // Nearest-rank on buckets returns the containing bucket's
+        // upper bound: never below the oracle, and at most one
+        // bucket width (<= want/32 + 1) above it.
+        EXPECT_GE(got, want) << "q=" << q;
+        EXPECT_LE(got, want + want / 32 + 1) << "q=" << q;
+    }
+}
+
+TEST(Histogram, MergeEqualsCombinedRecording)
+{
+    // Per-thread histograms merged must be indistinguishable from one
+    // histogram that saw every sample.
+    std::vector<uint64_t> a{1, 70, 500, 500, 12, 99999};
+    std::vector<uint64_t> b{0, 2, 70, 1'000'000, 31};
+    Histogram ha, hb, hall;
+    for (uint64_t v : a) {
+        ha.record(v);
+        hall.record(v);
+    }
+    for (uint64_t v : b) {
+        hb.record(v);
+        hall.record(v);
+    }
+    ha.merge(hb);
+    EXPECT_EQ(ha.count(), hall.count());
+    EXPECT_EQ(ha.sum(), hall.sum());
+    EXPECT_EQ(ha.min(), hall.min());
+    EXPECT_EQ(ha.max(), hall.max());
+    EXPECT_EQ(ha.buckets(), hall.buckets());
+    for (double q : {0.5, 0.9, 0.99, 0.999})
+        EXPECT_EQ(ha.percentile(q), hall.percentile(q)) << "q=" << q;
+}
+
+TEST(Histogram, MergeIntoEmpty)
+{
+    Histogram src, dst;
+    src.record(42);
+    src.record(4242);
+    dst.merge(src);
+    EXPECT_EQ(dst.count(), 2u);
+    EXPECT_EQ(dst.min(), 42u);
+    EXPECT_EQ(dst.max(), 4242u);
+    // Merging an empty histogram changes nothing.
+    Histogram empty;
+    dst.merge(empty);
+    EXPECT_EQ(dst.count(), 2u);
+    EXPECT_EQ(dst.min(), 42u);
+}
+
+} // namespace
+} // namespace tcpni::metrics
