@@ -30,6 +30,21 @@
  *  - the cache-mapped NI command window is unreachable: handlers that
  *    touch 0xffff0000 addresses are a kernel-selection bug and panic.
  *
+ * Escape-ring discipline (statically enforced).  The host CPU is the
+ * single writer of I-structure state; the HPU may read it but never
+ * mutate it.  Concretely, for HPU-resident handler kernels:
+ *
+ *  - every PWRITE handler path must end in a hpuProxyAddr post -- the
+ *    presence bits and deferred-reader list are only ever written by
+ *    the host proxy draining the ring, so writes cannot race reads;
+ *  - only the read-only PREAD FULL path may complete on the HPU; the
+ *    EMPTY/DEFERRED paths (which enqueue a reader) must escape;
+ *  - neither handler may issue a plain store to node memory.
+ *
+ * The protocol analyzer's proto-escape check (verify/protocol.cc)
+ * rejects kernels that violate this at lint time, so a violation
+ * cannot reach simulation.
+ *
  * Cost regions work exactly as on the Cpu, so the Table-1 harness can
  * difference "dispatching"/"processing" cycles measured on the HPU.
  */

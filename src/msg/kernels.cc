@@ -1636,5 +1636,36 @@ senderProgram(const ni::Model &model, Kind kind, unsigned count)
     return os.str();
 }
 
+std::vector<CorpusJob>
+kernelCorpus(const ni::Model &model)
+{
+    std::vector<CorpusJob> jobs;
+
+    if (model.optimized) {
+        jobs.push_back({"handlers", handlerProgram(model), true});
+        // The no-overlap variant exists only for the cache-mapped
+        // host kernels; On-NI handlers are register-coupled.
+        if (!model.policy().registerMapped() &&
+            !model.policy().handlersOnNi()) {
+            jobs.push_back({"handlers-no-overlap",
+                            handlerProgram(model, false, true), true});
+        }
+    } else {
+        jobs.push_back({"handlers", handlerProgram(model, false), true});
+        jobs.push_back({"handlers-sw-checks",
+                        handlerProgram(model, true), true});
+    }
+
+    static const Kind kinds[] = {
+        Kind::send0, Kind::send1, Kind::send2, Kind::read, Kind::write,
+        Kind::pread, Kind::pwrite,
+    };
+    for (Kind k : kinds) {
+        jobs.push_back({"send-" + kindName(k),
+                        senderProgram(model, k, 4), false});
+    }
+    return jobs;
+}
+
 } // namespace msg
 } // namespace tcpni

@@ -41,6 +41,7 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "isa/assembler.hh"
 #include "ni/config.hh"
@@ -125,6 +126,26 @@ unsigned directlyComputableWords(Kind k);
 
 /** Message ids used by the basic models' software dispatch (word 4). */
 unsigned basicId(Kind k);
+
+/**
+ * One kernel of a model's static-analysis corpus (tcpni_lint and the
+ * whole-system protocol analyzer in verify/protocol.hh).
+ */
+struct CorpusJob
+{
+    std::string name;       //!< "handlers", "handlers-sw-checks",
+                            //!< "send-read", ...
+    std::string source;     //!< assembly source
+    bool handlers = false;  //!< message-triggered handler kernel
+};
+
+/**
+ * The full kernel corpus for @p model: every handler-kernel variant
+ * the linter verifies plus the seven Table-1 sender kernels.  The
+ * On-NI host proxy (hostProxyProgram) is deliberately NOT part of the
+ * corpus -- the protocol analyzer models it axiomatically.
+ */
+std::vector<CorpusJob> kernelCorpus(const ni::Model &model);
 
 /** Assemble a kernel program with the kernel symbol table. */
 isa::Program assembleKernel(const std::string &src);

@@ -44,6 +44,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 
 #include "sim/types.hh"
@@ -165,6 +166,50 @@ typeContract(unsigned type)
       default:
         return {};
     }
+}
+
+/**
+ * The reply a request type obliges the receiving node to produce:
+ * READ/PREAD block the requester on a SEND carrying the value back to
+ * the reply inlet, and a PWRITE with a non-zero ack word completes
+ * with an ACK to the writer's counter.  Types without an obligation
+ * (fire-and-forget SEND/WRITE, control types) return nullopt.  The
+ * protocol analyzer (verify/protocol.hh) checks that every handler of
+ * an obliged type emits the reply on some path, directly or through
+ * the host-proxy escape.
+ */
+constexpr std::optional<unsigned>
+replyObligation(unsigned type)
+{
+    switch (type) {
+      case typeRead:
+      case typePRead:
+        return typeSend;
+      case typePWrite:
+        return typeAck;
+      default:
+        return std::nullopt;
+    }
+}
+
+/** Control types: reserved/exception, software-dispatched escape, and
+ *  harness stop.  Exempt from the analyzer's dead-handler check. */
+constexpr bool
+isControlType(unsigned type)
+{
+    return type == typeExc || type == typeEscape || type == typeStop;
+}
+
+/**
+ * Fold a basic-model 32-bit message id onto its protocol type node.
+ * Ids 7 and 8 are the SEND length variants (FP+IP plus one / two data
+ * words) the basic senders use because the id word cannot also carry
+ * the length; they land on the SEND handler family.
+ */
+constexpr unsigned
+normalizeBasicId(unsigned id)
+{
+    return (id == 7 || id == 8) ? unsigned{typeSend} : id;
 }
 
 /**

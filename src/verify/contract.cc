@@ -312,6 +312,7 @@ deriveHandlerContract(const isa::Program &prog, const ni::Model &model)
                 r.entry = addr;
                 r.name = rootName(prog, addr, fallback);
                 r.type = type;
+                r.iafull = iafull;
                 if (type == 0) {
                     r.kind = RootKind::poll;
                 } else if (type == ni::dispatch::excType) {

@@ -55,6 +55,13 @@ struct AbsVal
     VKind kind = VKind::unknown;
     Word value = 0;
 
+    /** For inputWord values: a compile-time constant added to the
+     *  loaded word (i<value> + delta).  The protocol analyzer's
+     *  forward-termination check recognizes a *negative* delta in a
+     *  forwarded message word as a statically-decremented hop bound
+     *  (see verify/protocol.hh). */
+    int32_t delta = 0;
+
     bool operator==(const AbsVal &) const = default;
 };
 
@@ -92,6 +99,14 @@ struct Root
     unsigned minWords = 0;          //!< shortest legal message
     unsigned maxWords = 0;          //!< longest legal message
     std::set<unsigned> dispatchConsumed;    //!< words dispatch itself used
+
+    /** The input queue may be above its iafull threshold when this
+     *  root runs.  Hardware-dispatch slots with ia=0 are only entered
+     *  below the threshold; every other entry point (basic software
+     *  dispatch, inlets, ia=1 slots) must assume the worst.  The
+     *  protocol analyzer's buffer-deadlock check only counts SENDs
+     *  issued before NEXT under roots where this is true. */
+    bool iafull = true;
 
     /** A valid message occupies the input registers on entry. */
     bool expectsMessage() const

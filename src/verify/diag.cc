@@ -39,6 +39,16 @@ Diag::format() const
     return os.str();
 }
 
+bool
+checkMatches(const std::string &check, const std::string &pattern)
+{
+    if (check == pattern)
+        return true;
+    return check.size() > pattern.size() &&
+           check.compare(0, pattern.size(), pattern) == 0 &&
+           check[pattern.size()] == '-';
+}
+
 unsigned
 Report::count(Severity s) const
 {
@@ -65,6 +75,28 @@ Report::dedupe()
             kept.push_back(std::move(d));
     }
     diags = std::move(kept);
+}
+
+void
+Report::suppress(const std::vector<std::string> &patterns)
+{
+    std::erase_if(diags, [&](const Diag &d) {
+        return std::any_of(patterns.begin(), patterns.end(),
+                           [&](const std::string &p) {
+                               return checkMatches(d.check, p);
+                           });
+    });
+}
+
+void
+Report::select(const std::vector<std::string> &patterns)
+{
+    std::erase_if(diags, [&](const Diag &d) {
+        return std::none_of(patterns.begin(), patterns.end(),
+                            [&](const std::string &p) {
+                                return checkMatches(d.check, p);
+                            });
+    });
 }
 
 void

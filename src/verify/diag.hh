@@ -37,6 +37,13 @@ enum class Severity : uint8_t
 
 std::string severityName(Severity s);
 
+/**
+ * True when @p check matches @p pattern: exact, or @p pattern names a
+ * check group by prefix ("proto" matches "proto-reply" but not
+ * "protocol").  Used by `tcpni_lint -Wno-NAME` / `--only NAME`.
+ */
+bool checkMatches(const std::string &check, const std::string &pattern);
+
 /** One finding. */
 struct Diag
 {
@@ -77,6 +84,12 @@ struct Report
     /** Drop duplicate findings (same check, address and message seen
      *  under several verification roots) and sort by address. */
     void dedupe();
+
+    /** Remove findings whose check matches any of @p patterns. */
+    void suppress(const std::vector<std::string> &patterns);
+
+    /** Keep only findings whose check matches one of @p patterns. */
+    void select(const std::vector<std::string> &patterns);
 
     /** Append another report's findings. */
     void merge(const Report &other);

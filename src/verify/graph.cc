@@ -1,0 +1,102 @@
+#include "verify/graph.hh"
+
+#include <sstream>
+
+#include "msg/protocol.hh"
+
+namespace tcpni
+{
+namespace verify
+{
+
+std::string
+nodeName(unsigned node)
+{
+    if (node == hostProxyNode)
+        return "host-proxy";
+    const char *name = nullptr;
+    switch (node) {
+      case msg::typeSend: name = "SEND"; break;
+      case msg::typeExc: name = "EXC"; break;
+      case msg::typeRead: name = "READ"; break;
+      case msg::typeWrite: name = "WRITE"; break;
+      case msg::typePRead: name = "PREAD"; break;
+      case msg::typePWrite: name = "PWRITE"; break;
+      case msg::typeAck: name = "ACK"; break;
+      case msg::typeEscape: name = "ESCAPE"; break;
+      case msg::typeStop: name = "STOP"; break;
+    }
+    std::ostringstream os;
+    if (name)
+        os << name << '(' << node << ')';
+    else
+        os << "type " << node;
+    return os.str();
+}
+
+std::vector<const FlowEdge *>
+MessageFlowGraph::findCycle(
+    const std::function<bool(const FlowEdge &)> &keep) const
+{
+    std::array<std::vector<const FlowEdge *>, graphNodes> out{};
+    for (const FlowEdge &e : edges) {
+        if (keep(e))
+            out[e.from].push_back(&e);
+    }
+
+    // Iterative-friendly sizes (17 nodes), so plain recursive
+    // three-color DFS with an explicit edge stack is fine.
+    std::array<uint8_t, graphNodes> color{};    // 0 white, 1 gray, 2 black
+    std::vector<const FlowEdge *> stack;
+    std::vector<const FlowEdge *> cycle;
+
+    std::function<bool(unsigned)> dfs = [&](unsigned n) -> bool {
+        color[n] = 1;
+        for (const FlowEdge *e : out[n]) {
+            if (color[e->to] == 1) {
+                // Back edge: the cycle is the stack suffix from the
+                // first edge leaving e->to, plus this edge.
+                stack.push_back(e);
+                size_t start = 0;
+                while (start < stack.size() &&
+                       stack[start]->from != e->to)
+                    ++start;
+                cycle.assign(stack.begin() +
+                                 static_cast<ptrdiff_t>(start),
+                             stack.end());
+                return true;
+            }
+            if (color[e->to] == 0) {
+                stack.push_back(e);
+                if (dfs(e->to))
+                    return true;
+                stack.pop_back();
+            }
+        }
+        color[n] = 2;
+        return false;
+    };
+
+    for (unsigned n = 0; n < graphNodes; ++n) {
+        if (color[n] == 0 && dfs(n))
+            return cycle;
+    }
+    return {};
+}
+
+std::string
+describeCycle(const std::vector<const FlowEdge *> &cycle)
+{
+    std::ostringstream os;
+    for (size_t i = 0; i < cycle.size(); ++i) {
+        const FlowEdge *e = cycle[i];
+        if (i == 0)
+            os << nodeName(e->from);
+        os << " -> " << nodeName(e->to) << " [" << e->where;
+        os << " at 0x" << std::hex << e->addr << std::dec << ']';
+    }
+    return os.str();
+}
+
+} // namespace verify
+} // namespace tcpni

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The typed message-flow graph the protocol analyzer works on.
+ *
+ * Nodes are the sixteen 4-bit message type codes (basic-model 32-bit
+ * ids are folded onto them with msg::normalizeBasicId) plus one
+ * pseudo-node for the On-NI host proxy.  Edges are the SEND / REPLY /
+ * FORWARD sites observed while verifying *handler* roots: an edge
+ * T -> U means "handling a type-T message can emit a type-U message".
+ * Escaping to the host ring adds an edge T -> host-proxy; the proxy
+ * itself is modelled axiomatically (it replays the escaped message
+ * through the ordinary handlers and replies with plain SENDs), so it
+ * contributes host-proxy -> SEND and host-proxy -> ACK edges rather
+ * than being verified as handler code.
+ *
+ * Sender (setup-root) emit sites do not create edges -- sender code is
+ * not message-triggered, so it cannot extend a chain -- but they do
+ * mark their target types as *emitted*, which is what the dead-handler
+ * and missing-handler checks consume.
+ */
+
+#ifndef TCPNI_VERIFY_GRAPH_HH
+#define TCPNI_VERIFY_GRAPH_HH
+
+#include <array>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hh"
+#include "sim/types.hh"
+
+namespace tcpni
+{
+namespace verify
+{
+
+constexpr unsigned graphTypeNodes = 16;
+constexpr unsigned hostProxyNode = 16;
+constexpr unsigned graphNodes = 17;
+
+/** Human-readable node name ("SEND(0)", "host-proxy"). */
+std::string nodeName(unsigned node);
+
+/** How one flow edge propagates a message. */
+enum class EdgeKind : uint8_t
+{
+    send,
+    reply,
+    forward,
+    escape,     //!< a post to the host-proxy ring
+};
+
+/** One observed propagation: handling @c from can emit @c to. */
+struct FlowEdge
+{
+    unsigned from = 0;
+    unsigned to = 0;
+    EdgeKind kind = EdgeKind::send;
+
+    /** The emit may issue before the handler's NEXT while the input
+     *  queue may already be above its iafull threshold: the edge
+     *  consumes downstream buffer space while still holding its own
+     *  input slot, the raw material of a cyclic-credit deadlock. */
+    bool beforeNext = false;
+
+    /** A non-substituted emitted word is an input word minus a
+     *  compile-time constant: a statically-decremented hop bound that
+     *  breaks forward cycles. */
+    bool decremented = false;
+
+    unsigned words = 0;     //!< emitted payload words
+    std::string kernel;     //!< kernel (lint job) the edge came from
+    std::string where;      //!< verification root name
+    Addr addr = 0;
+    unsigned line = 0;
+};
+
+struct MessageFlowGraph
+{
+    /** A handler root exists for the node's type. */
+    std::array<bool, graphNodes> handled{};
+    /** Some sender or handler emits the node's type. */
+    std::array<bool, graphNodes> emitted{};
+
+    std::vector<FlowEdge> edges;
+
+    /**
+     * Find a cycle among the edges satisfying @p keep.  Returns the
+     * edges of one cycle in order (empty if the filtered subgraph is
+     * acyclic).
+     */
+    std::vector<const FlowEdge *>
+    findCycle(const std::function<bool(const FlowEdge &)> &keep) const;
+};
+
+/** "SEND(0) -> SEND(0) [h_send0 at 0x40a0]" etc., " -> "-joined. */
+std::string describeCycle(const std::vector<const FlowEdge *> &cycle);
+
+} // namespace verify
+} // namespace tcpni
+
+#endif // TCPNI_VERIFY_GRAPH_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Whole-system protocol analysis over the kernel corpus of one model.
+ *
+ * The per-kernel verifier (verifier.hh) proves each kernel correct in
+ * isolation; this pass lifts the kernels' exported summaries into a
+ * typed message-flow graph (graph.hh) and checks the properties that
+ * only exist *between* kernels:
+ *
+ *   proto-reply     every emitted protocol type has a handler, and
+ *                   every handler of an obliged request type (READ /
+ *                   PREAD -> SEND, PWRITE -> ACK, see
+ *                   msg::replyObligation) emits the reply on some
+ *                   path -- directly or by escaping to the host proxy.
+ *   proto-forward   the propagation edges (a handler emitting a
+ *                   handled type) form a DAG once edges carrying a
+ *                   statically-decremented hop bound are removed, so
+ *                   FORWARD fan-out trees (collectives) terminate.
+ *   proto-deadlock  no cycle of handlers that emit before NEXT while
+ *                   their own input queue may be above its iafull
+ *                   threshold: each such handler holds an input slot
+ *                   while demanding downstream buffer space, and a
+ *                   cycle of them is the classic cyclic-credit
+ *                   buffer deadlock (consume-before-send discipline).
+ *   proto-escape    On-NI models only: every PWRITE handler path
+ *                   escapes through the host ring before the
+ *                   activation ends, and neither PREAD nor PWRITE
+ *                   handlers store to plain memory from the HPU --
+ *                   the single-writer I-structure rule.
+ *   proto-dead      a handled non-control type nothing in the corpus
+ *                   emits (warning: dead handler code).
+ *
+ * The corpus for one model is its handler kernel (all verified
+ * variants) plus the seven sender kernels.  The host proxy is part of
+ * the corpus axiomatically: it replays escaped messages and replies
+ * with plain SENDs / ACKs, so it satisfies obligations of escaping
+ * handlers without being verified here (it is host C code territory;
+ * see DESIGN.md section 11).
+ */
+
+#ifndef TCPNI_VERIFY_PROTOCOL_HH
+#define TCPNI_VERIFY_PROTOCOL_HH
+
+#include <string>
+#include <vector>
+
+#include "ni/config.hh"
+#include "verify/graph.hh"
+#include "verify/verifier.hh"
+
+namespace tcpni
+{
+namespace verify
+{
+
+/** One verified kernel's contribution to the corpus. */
+struct ProtoKernel
+{
+    std::string name;           //!< lint job name ("handlers", "send0")
+    bool handlers = false;      //!< handler kernel (message-triggered)
+    KernelSummary summary;      //!< exported by verify()
+};
+
+/** Lift the kernels' summaries into the model's message-flow graph. */
+MessageFlowGraph buildFlowGraph(const ni::Model &model,
+                                const std::vector<ProtoKernel> &kernels);
+
+/** Run the five whole-system checks for @p model's corpus. */
+Report analyzeProtocol(const ni::Model &model,
+                       const std::vector<ProtoKernel> &kernels);
+
+} // namespace verify
+} // namespace tcpni
+
+#endif // TCPNI_VERIFY_PROTOCOL_HH

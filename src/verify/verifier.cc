@@ -36,9 +36,11 @@ struct State
     uint32_t mayWritten = 0;    //!< regs written on some path
     uint8_t oDef = 0;           //!< o-words written on every path
     uint8_t oMay = 0;           //!< o-words written on some path
-    AbsVal oVal4;               //!< value in o4 (basic-model id)
+    std::array<AbsVal, 5> oVals;    //!< values in o0..o4 (o4 = basic id)
     bool mayNext = false;       //!< NEXT issued on some path
     bool mustNext = false;      //!< NEXT issued on every path
+    bool mayEscape = false;     //!< host-proxy post on some path
+    bool mustEscape = false;    //!< host-proxy post on every path
     RegEnv env;                 //!< abstract register values
 };
 
@@ -64,10 +66,14 @@ mergeInto(State &dst, const State &src)
     join(dst.oMay, static_cast<uint8_t>(dst.oMay | src.oMay));
     join(dst.mayNext, dst.mayNext || src.mayNext);
     join(dst.mustNext, dst.mustNext && src.mustNext);
-    AbsVal v4 = mergeVal(dst.oVal4, src.oVal4);
-    if (!(v4 == dst.oVal4)) {
-        dst.oVal4 = v4;
-        changed = true;
+    join(dst.mayEscape, dst.mayEscape || src.mayEscape);
+    join(dst.mustEscape, dst.mustEscape && src.mustEscape);
+    for (unsigned k = 0; k < 5; ++k) {
+        AbsVal v = mergeVal(dst.oVals[k], src.oVals[k]);
+        if (!(v == dst.oVals[k])) {
+            dst.oVals[k] = v;
+            changed = true;
+        }
     }
     for (unsigned r = 0; r < isa::numRegs; ++r) {
         AbsVal m = mergeVal(dst.env[r], src.env[r]);
@@ -104,6 +110,32 @@ decodeNiAddr(Word addr)
     return a;
 }
 
+/**
+ * Abstract arithmetic on an input word: i<k> plus/minus a compile-time
+ * constant stays classified as that input word, with the constant
+ * folded into AbsVal::delta.  This is what lets the protocol analyzer
+ * recognize a statically-decremented hop bound in a forwarded message.
+ */
+std::optional<AbsVal>
+inputWordDelta(Opcode op, const AbsVal &a, const AbsVal &b)
+{
+    bool add = op == Opcode::add || op == Opcode::addi;
+    bool sub = op == Opcode::sub;
+    if (!add && !sub)
+        return std::nullopt;
+    auto shifted = [](AbsVal w, int32_t d) {
+        w.delta += d;
+        return w;
+    };
+    if (a.kind == VKind::inputWord && b.kind == VKind::constant) {
+        int32_t d = static_cast<int32_t>(b.value);
+        return shifted(a, add ? d : -d);
+    }
+    if (add && b.kind == VKind::inputWord && a.kind == VKind::constant)
+        return shifted(b, static_cast<int32_t>(a.value));
+    return std::nullopt;
+}
+
 /** Software dispatch-table base containing @p addr, if any. */
 std::optional<Word>
 tableBaseOf(Word addr)
@@ -129,6 +161,7 @@ struct RootRun
     std::set<size_t> &visited;      //!< global (all roots)
     std::set<size_t> &niLoads;      //!< NI-window loads (for hazards)
     Report *rep = nullptr;          //!< null during the fixpoint pass
+    RootSummary *summary = nullptr; //!< set (with rep) in the report pass
     std::set<unsigned> consumed;    //!< message words this root reads
 
     unsigned
@@ -150,13 +183,25 @@ struct RootRun
     void processUnit(size_t idx, std::vector<size_t> &succs);
     void applyInst(size_t idx, const Instruction &inst, State &st);
     void noteIRead(size_t idx, unsigned k, const State &st);
-    void doSend(size_t idx, State &st, SendMode mode, unsigned stype);
+    void doSend(size_t idx, State &st, SendMode mode, unsigned stype,
+                bool with_next);
     void classifyJmp(size_t idx, const Instruction &inst,
                      const AbsVal &target, const State &st,
                      std::vector<size_t> &succs);
     void joinTo(size_t to, const State &st, std::vector<size_t> &succs);
     void fallTo(size_t from, size_t to, const State &st,
                 std::vector<size_t> &succs);
+
+    /** The activation leaves this root (dispatch onward or halt). */
+    void
+    recordExit(const State &st)
+    {
+        if (!summary)
+            return;
+        ++summary->exits;
+        if (st.mustEscape)
+            ++summary->exitsEscaped;
+    }
 };
 
 void
@@ -178,9 +223,11 @@ RootRun::noteIRead(size_t idx, unsigned k, const State &st)
 }
 
 void
-RootRun::doSend(size_t idx, State &st, SendMode mode, unsigned stype)
+RootRun::doSend(size_t idx, State &st, SendMode mode, unsigned stype,
+                bool with_next)
 {
     uint8_t filled = st.oDef;
+    uint8_t substituted = 0;
 
     if (mode == SendMode::reply) {
         if (rep && (st.oMay & 0b00011)) {
@@ -193,6 +240,7 @@ RootRun::doSend(size_t idx, State &st, SendMode mode, unsigned stype)
         for (unsigned k : {1u, 2u}) {
             if (root.expectsMessage() && k < root.minWords) {
                 filled |= bitOf(k - 1);
+                substituted |= bitOf(k - 1);
                 noteIRead(idx, k, st);
             }
         }
@@ -205,6 +253,7 @@ RootRun::doSend(size_t idx, State &st, SendMode mode, unsigned stype)
         for (unsigned k : {2u, 3u, 4u}) {
             if (root.expectsMessage() && k < root.minWords) {
                 filled |= bitOf(k);
+                substituted |= bitOf(k);
                 noteIRead(idx, k, st);
             }
         }
@@ -221,6 +270,36 @@ RootRun::doSend(size_t idx, State &st, SendMode mode, unsigned stype)
     unsigned prefix = 0;
     while (prefix < limit && (payload & bitOf(prefix)))
         ++prefix;
+
+    if (summary) {
+        EmitSite site;
+        site.mode = mode;
+        site.words = prefix;
+        site.substituted = substituted;
+        // A send folded with !next on the same instruction retires the
+        // input slot with the send; it is consume-disciplined.
+        site.beforeNext = !(st.mustNext || with_next);
+        site.addr = prog.base + static_cast<Addr>(idx) * 4;
+        site.line = idx < prog.lineOf.size() ? prog.lineOf[idx] : 0;
+        if (basic) {
+            if (st.oVals[4].kind == VKind::constant) {
+                site.typeKnown = true;
+                site.type = st.oVals[4].value & 0xffff;
+            }
+        } else {
+            site.typeKnown = true;
+            site.type = stype;
+        }
+        for (unsigned k = 0; k < prefix && k < 5; ++k) {
+            if (substituted & bitOf(k))
+                continue;
+            const AbsVal &v = st.oVals[k];
+            if (v.kind == VKind::inputWord && v.delta < 0)
+                site.decremented = true;
+        }
+        summary->emits.push_back(site);
+    }
+
     if (payload >> prefix) {
         diag(Severity::error, "send", idx,
              "outgoing message has a gap: words above o" +
@@ -237,12 +316,12 @@ RootRun::doSend(size_t idx, State &st, SendMode mode, unsigned stype)
                  "basic-model SEND without a defined o4 id word");
             return;
         }
-        if (st.oVal4.kind != VKind::constant) {
+        if (st.oVals[4].kind != VKind::constant) {
             diag(Severity::warning, "send", idx,
                  "cannot determine the o4 message id statically");
             return;
         }
-        unsigned id = st.oVal4.value;
+        unsigned id = st.oVals[4].value;
         bool send_family = id == 0 || id == 7 || id == 8;
         if (!send_family && !(id < 16 && msg::typeContract(id).live)) {
             diag(Severity::error, "send", idx,
@@ -328,6 +407,12 @@ RootRun::applyInst(size_t idx, const Instruction &inst, State &st)
         addr == msg::hpuProxyAddr) {
         for (unsigned k = 0; k < root.maxWords; ++k)
             noteIRead(idx, k, st);
+        st.mayEscape = true;
+        st.mustEscape = true;
+        if (summary)
+            summary->escapes = true;
+    } else if (isa::isStore(inst.op) && !acc.isNi && summary) {
+        summary->plainStores = true;
     }
 
     // 2. The instruction's own write (visible to a folded SEND: the
@@ -365,13 +450,17 @@ RootRun::applyInst(size_t idx, const Instruction &inst, State &st)
             if (a.kind == VKind::constant && b.kind == VKind::constant) {
                 if (auto v = evalAlu(inst.op, a.value, b.value))
                     result = {VKind::constant, *v};
+            } else if (auto w = inputWordDelta(inst.op, a, b)) {
+                result = *w;
             }
         } else {
             AbsVal a = readReg(st.env, inst.rs1);
+            AbsVal b{VKind::constant, static_cast<Word>(inst.imm)};
             if (a.kind == VKind::constant) {
-                if (auto v = evalAlu(inst.op, a.value,
-                                     static_cast<Word>(inst.imm)))
+                if (auto v = evalAlu(inst.op, a.value, b.value))
                     result = {VKind::constant, *v};
+            } else if (auto w = inputWordDelta(inst.op, a, b)) {
+                result = *w;
             }
         }
         st.env[*rd] = result;
@@ -382,15 +471,13 @@ RootRun::applyInst(size_t idx, const Instruction &inst, State &st)
             unsigned k = *rd - (isa::niRegBase + ni::regO0);
             st.oDef |= bitOf(k);
             st.oMay |= bitOf(k);
-            if (k == 4)
-                st.oVal4 = result;
+            st.oVals[k] = result;
         }
     }
     if (acc.isNi && isa::isStore(inst.op) && acc.reg <= ni::regO4) {
         st.oDef |= bitOf(acc.reg);
         st.oMay |= bitOf(acc.reg);
-        if (acc.reg == 4)
-            st.oVal4 = readReg(st.env, inst.rd);
+        st.oVals[acc.reg] = readReg(st.env, inst.rd);
     }
 
     // 3. NI commands: folded into the instruction word, or carried by
@@ -411,7 +498,7 @@ RootRun::applyInst(size_t idx, const Instruction &inst, State &st)
         donext = donext || acc.next;
     }
     if (mode != SendMode::none)
-        doSend(idx, st, mode, stype);
+        doSend(idx, st, mode, stype, donext);
     if (donext) {
         if (rep && st.mayNext && root.expectsMessage()) {
             diag(Severity::warning, "consume", idx,
@@ -461,6 +548,7 @@ RootRun::classifyJmp(size_t idx, const Instruction &inst,
                  "dispatches to the next message without issuing NEXT "
                  "for the current one");
         }
+        recordExit(st);
         return;
     }
     if (regMapped && rs1 >= isa::niRegBase + ni::regI0 &&
@@ -471,6 +559,7 @@ RootRun::classifyJmp(size_t idx, const Instruction &inst,
                  "dispatches through message word " + std::to_string(k) +
                      "; only word 1 is a dispatch address (Figure 7)");
         }
+        recordExit(st);
         return;
     }
 
@@ -481,14 +570,16 @@ RootRun::classifyJmp(size_t idx, const Instruction &inst,
                  "dispatches to the next message without issuing NEXT "
                  "for the current one");
         }
+        recordExit(st);
         return;
       case VKind::inputWord:
-        if (target.value != 1) {
+        if (target.value != 1 || target.delta != 0) {
             diag(Severity::error, "dispatch", idx,
                  "dispatches through message word " +
                      std::to_string(target.value) +
                      "; only word 1 is a dispatch address (Figure 7)");
         }
+        recordExit(st);
         return;
       case VKind::tableEntry:
         // A jump through the basic dispatch table starts the next
@@ -500,6 +591,7 @@ RootRun::classifyJmp(size_t idx, const Instruction &inst,
                  "dispatches to the next message without issuing NEXT "
                  "for the current one");
         }
+        recordExit(st);
         return;
       case VKind::constant: {
         Addr t = target.value;
@@ -517,6 +609,7 @@ RootRun::classifyJmp(size_t idx, const Instruction &inst,
              "indirect jump target is not derived from a dispatch "
              "source (MsgIp/NextMsgIp, message word 1, or a dispatch "
              "table)");
+        recordExit(st);
         return;
     }
 }
@@ -528,8 +621,11 @@ RootRun::processUnit(size_t idx, std::vector<size_t> &succs)
     visited.insert(idx);
     Instruction inst = isa::decode(prog.words[idx]);
 
-    if (inst.op == Opcode::halt)
+    if (inst.op == Opcode::halt) {
+        if (rep)
+            recordExit(st);
         return;
+    }
 
     if (!isa::isBranch(inst.op)) {
         applyInst(idx, inst, st);
@@ -596,6 +692,15 @@ rootEntryState(const Contract &contract, const Root &root,
                 init.mustDef |= bitOf(r);
         }
     }
+    // Register-mapped message roots see the message in the i-register
+    // aliases; name them so copies and arithmetic on input words stay
+    // classified (delta tracking for forwarded hop bounds).
+    if (reg_mapped && root.expectsMessage()) {
+        for (unsigned k = 0; k < 5; ++k) {
+            init.env[isa::niRegBase + ni::regI0 + k] =
+                AbsVal{VKind::inputWord, k};
+        }
+    }
     return init;
 }
 
@@ -611,7 +716,11 @@ hazardScan(const isa::Program &prog, const ni::Model &model,
            const Contract &contract, const std::set<size_t> &visited,
            const std::set<size_t> &ni_loads, Report &rep)
 {
-    unsigned ni_delay = model.config().loadUseDelay();
+    // Kernels compiled register-mapped (including the On-NI models'
+    // HPU handler kernels) never interlock on the interface.
+    unsigned ni_delay = contract.kernelRegMapped
+                            ? 0
+                            : model.config().loadUseDelay();
     bool reg_mapped = contract.kernelRegMapped ||
                       model.policy().registerMapped();
 
@@ -798,7 +907,7 @@ verify(const isa::Program &prog, const ni::Model &model,
 
     for (const Root &root : contract.roots) {
         RootRun rr{prog, model, contract, root, reg_mapped,
-                   {}, visited, ni_loads, nullptr, {}};
+                   {}, visited, ni_loads, nullptr, nullptr, {}};
         size_t entry = prog.indexOf(root.entry);
         mergeInto(rr.in[entry], rootEntryState(contract, root,
                                                reg_mapped));
@@ -816,11 +925,23 @@ verify(const isa::Program &prog, const ni::Model &model,
 
         // Pass 2: report against the converged states.
         rr.rep = &rep;
+        RootSummary rsum;
+        if (opts.summary) {
+            rsum.name = root.name;
+            rsum.kind = root.kind;
+            rsum.type = root.type;
+            rsum.minWords = root.minWords;
+            rsum.maxWords = root.maxWords;
+            rsum.iafull = root.iafull;
+            rr.summary = &rsum;
+        }
         for (const auto &[i, st] : rr.in) {
             (void)st;
             std::vector<size_t> ignored;
             rr.processUnit(i, ignored);
         }
+        if (opts.summary)
+            opts.summary->roots.push_back(std::move(rsum));
 
         // Message-consumption completeness.
         if (root.expectsMessage()) {

@@ -37,11 +37,26 @@
  *              leave the image, unreachable code
  *   region     reachable code missing a .region cost tag
  *   hazard     (notes) statically-estimated load-use stalls under the
- *              model's interface placement (2 cycles off-chip)
+ *              model's interface placement.  The stall depth is the
+ *              placement policy's loadUseDelay() -- 2 cycles for the
+ *              paper's off-chip NIC, 8 for the Section-4.2.3 far
+ *              off-chip variant, 1 on-chip -- and 0 for kernels that
+ *              run register-coupled (register-file placement, and the
+ *              On-NI models' HPU handler kernels), whose interface
+ *              reads never interlock.
+ *
+ * Besides diagnostics, verification can export a KernelSummary: the
+ * per-root protocol facts (types consumed, SEND/REPLY/FORWARD emit
+ * sites with lengths and substitution masks, host-proxy escape posts)
+ * that verify/protocol.hh lifts into the whole-corpus message-flow
+ * graph.
  */
 
 #ifndef TCPNI_VERIFY_VERIFIER_HH
 #define TCPNI_VERIFY_VERIFIER_HH
+
+#include <string>
+#include <vector>
 
 #include "verify/contract.hh"
 #include "verify/diag.hh"
@@ -51,9 +66,67 @@ namespace tcpni
 namespace verify
 {
 
+/** One SEND/REPLY/FORWARD commanded by a kernel, observed under one
+ *  verification root. */
+struct EmitSite
+{
+    isa::SendMode mode = isa::SendMode::send;
+    bool typeKnown = false;     //!< type/id resolved statically
+    unsigned type = 0;          //!< 4-bit type (optimized) / o4 id (basic)
+    unsigned words = 0;         //!< emitted contiguous o-word prefix
+    uint8_t substituted = 0;    //!< o-words filled by REPLY/FORWARD
+
+    /** The send may issue before this root's NEXT retires, i.e. while
+     *  the handler still owns an unconsumed input-queue slot.  A send
+     *  folded with !next on the same instruction is consume-
+     *  disciplined and does not count. */
+    bool beforeNext = false;
+
+    /** Some emitted (non-substituted) word is an input word minus a
+     *  compile-time constant: a statically-decremented hop bound. */
+    bool decremented = false;
+
+    Addr addr = 0;
+    unsigned line = 0;
+};
+
+/** Protocol-relevant facts about one verification root. */
+struct RootSummary
+{
+    std::string name;
+    RootKind kind = RootKind::setup;
+    unsigned type = 0;          //!< message type / basic id
+    unsigned minWords = 0;
+    unsigned maxWords = 0;
+    bool iafull = true;         //!< may run with the input queue full
+
+    std::vector<EmitSite> emits;
+
+    bool escapes = false;       //!< some path posts to the host ring
+    bool plainStores = false;   //!< stores to plain memory (not the NI
+                                //!< window, not the host-proxy doorbell)
+    unsigned exits = 0;         //!< activation exits (dispatch / halt)
+    unsigned exitsEscaped = 0;  //!< exits with the escape already posted
+
+    /** Every way out of this handler posts a host-proxy escape first
+     *  (the On-NI single-writer discipline for PWRITE). */
+    bool
+    escapesAlways() const
+    {
+        return exits > 0 && exitsEscaped == exits;
+    }
+};
+
+/** Everything the protocol analyzer needs to know about one kernel. */
+struct KernelSummary
+{
+    std::vector<RootSummary> roots;
+};
+
 struct VerifyOptions
 {
-    bool hazardNotes = true;    //!< emit load-use stall notes
+    bool hazardNotes = true;        //!< emit load-use stall notes
+    KernelSummary *summary = nullptr;   //!< export per-root summaries
 };
 
 /** Verify @p prog against an already-derived @p contract. */

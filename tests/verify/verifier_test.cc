@@ -590,6 +590,46 @@ s:
     EXPECT_EQ(on.count(v::Severity::note), 0u) << dump(on);
 }
 
+TEST(Hazard, StallDepthFollowsPlacementPolicy)
+{
+    // The note's cycle count comes from PlacementPolicy::loadUseDelay,
+    // not a hard-wired constant: the far off-chip variant (delay 8)
+    // must report an 8-cycle stall for the very same kernel that
+    // stalls 2 cycles on the paper's off-chip model.
+    const std::string src = R"(
+    .org 0x4000
+    .region processing
+s:
+    li   r10, NI_BASE
+    ldi  r5, r10, NI_I0
+    add  r6, r5, r0
+    halt
+)";
+    isa::Program p = asmProg(src);
+    ni::Model far =
+        ni::Model{ni::Placement::offChipCache, true}.withOffchipDelay(8);
+    v::Report rep = v::verify(p, far,
+                              oneRoot(p, "s", v::RootKind::setup));
+    EXPECT_TRUE(has(rep, v::Severity::note, "hazard",
+                    "8-cycle load-use stall on r5"))
+        << dump(rep);
+    EXPECT_FALSE(has(rep, v::Severity::note, "hazard", "2-cycle"))
+        << dump(rep);
+}
+
+TEST(Hazard, OnNiHandlersNeverInterlock)
+{
+    // HPU-resident handlers address the queues as registers, so the
+    // NI load-use delay is zero regardless of the memory hierarchy.
+    for (bool optimized : {false, true}) {
+        ni::Model onni{ni::Placement::onNi, optimized};
+        isa::Program p = asmProg(msg::handlerProgram(onni, false));
+        v::Report rep = v::verifyHandlers(p, onni);
+        EXPECT_EQ(rep.count(v::Severity::note), 0u)
+            << onni.shortName() << ":\n" << dump(rep);
+    }
+}
+
 TEST(Hazard, RegisterMappedNeverInterlocks)
 {
     for (const ni::Model &m : {model("reg-opt"), model("reg-basic")}) {

@@ -1,24 +1,38 @@
 /**
  * @file
  * tcpni_lint: statically verify the shipped handler and sender kernels
- * against the NI register contract, under every interface model.
+ * against the NI register contract, under every interface model, and
+ * run the whole-system protocol analyzer (the `proto` check group)
+ * over each model's kernel corpus.
  *
- * Exit status is 0 when every linted kernel is clean (no errors; no
- * warnings either under --Werror), 1 otherwise.  Hazard notes are
- * informational and never affect the exit status.
+ * Exit status is severity-aware: 0 when every job is clean, 1 when any
+ * job has errors (always) or warnings (only under --Werror), 2 on
+ * usage errors.  Hazard notes are informational and never affect the
+ * exit status.
  *
  *   tcpni_lint [--Werror] [--model NAME] [--notes] [--list] [-v]
+ *              [--format=text|json|sarif] [--json FILE]
+ *              [-Wno-CHECK]... [--only CHECK]...
  *
- *   --Werror      treat warnings as failures
- *   --model NAME  lint a single registered model (registry name or
- *                 short name, e.g. "reg-opt")
- *   --notes       print load-use hazard notes (hidden by default)
- *   --list        list the kernels that would be linted, then exit
- *   -v            print a line per kernel even when clean
+ *   --Werror        treat warnings as failures
+ *   --model NAME    lint a single registered model (registry name or
+ *                   short name, e.g. "reg-opt")
+ *   --notes         print load-use hazard notes (hidden by default)
+ *   --list          list the jobs that would run, then exit
+ *   -v              print a line per job even when clean
+ *   --format=FMT    stdout format: text (default), json, or sarif
+ *   --json FILE     additionally write the json report to FILE
+ *   -Wno-CHECK      suppress a check ("send") or group ("proto"
+ *                   suppresses every proto-* check)
+ *   --only CHECK    keep only matching checks (same prefix rules);
+ *                   repeatable, e.g. `--only proto`
  */
 
-#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -26,6 +40,7 @@
 #include "msg/kernels.hh"
 #include "ni/model_registry.hh"
 #include "ni/placement_policy.hh"
+#include "verify/protocol.hh"
 #include "verify/verifier.hh"
 
 using namespace tcpni;
@@ -33,49 +48,146 @@ using namespace tcpni;
 namespace
 {
 
-struct Job
+/** One finished lint job: a verified kernel or a per-model protocol
+ *  analysis group. */
+struct JobResult
 {
     std::string name;
-    ni::Model model;
-    std::string source;
-    bool sender = false;
+    verify::Report rep;
+    bool assembled = true;
+
+    bool
+    failed(bool werror) const
+    {
+        return !assembled || !rep.clean(werror);
+    }
 };
 
-std::vector<Job>
-jobsFor(const ni::ModelInfo &info)
+std::string
+jsonEscape(const std::string &s)
 {
-    const ni::Model &model = info.model;
-    std::vector<Job> jobs;
-    const std::string &mname = info.shortName;
-
-    if (model.optimized) {
-        jobs.push_back({mname + "/handlers", model,
-                        msg::handlerProgram(model), false});
-        // The no-overlap variant exists only for the cache-mapped
-        // host kernels; On-NI handlers are register-coupled.
-        if (!model.policy().registerMapped() &&
-            !model.policy().handlersOnNi()) {
-            jobs.push_back({mname + "/handlers-no-overlap", model,
-                            msg::handlerProgram(model, false, true),
-                            false});
+    std::ostringstream os;
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          default: os << c; break;
         }
-    } else {
-        jobs.push_back({mname + "/handlers", model,
-                        msg::handlerProgram(model, false), false});
-        jobs.push_back({mname + "/handlers-sw-checks", model,
-                        msg::handlerProgram(model, true), false});
+    }
+    return os.str();
+}
+
+/** Job names can carry spaces/parens ("send-Send (0 words)"); keep
+ *  SARIF artifact URIs plain. */
+std::string
+uriSafe(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                  c == '/' || c == '.';
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+std::string
+sarifLevel(verify::Severity s)
+{
+    switch (s) {
+      case verify::Severity::error: return "error";
+      case verify::Severity::warning: return "warning";
+      case verify::Severity::note: return "note";
+    }
+    return "none";
+}
+
+/** Stable machine-readable report (pinned by a golden test). */
+void
+writeJson(std::ostream &os, const std::vector<JobResult> &results,
+          bool werror)
+{
+    os << "{\n  \"schema\": \"tcpni-lint-1\",\n";
+    os << "  \"werror\": " << (werror ? "true" : "false") << ",\n";
+    os << "  \"jobs\": [\n";
+    unsigned terr = 0, twarn = 0, tnote = 0;
+    for (size_t i = 0; i < results.size(); ++i) {
+        const JobResult &r = results[i];
+        unsigned err = r.rep.count(verify::Severity::error);
+        unsigned warn = r.rep.count(verify::Severity::warning);
+        unsigned note = r.rep.count(verify::Severity::note);
+        terr += err;
+        twarn += warn;
+        tnote += note;
+        os << "    {\"name\": \"" << jsonEscape(r.name) << "\", "
+           << "\"assembled\": " << (r.assembled ? "true" : "false")
+           << ", \"errors\": " << err << ", \"warnings\": " << warn
+           << ", \"notes\": " << note << ", \"diags\": [";
+        for (size_t d = 0; d < r.rep.diags.size(); ++d) {
+            const verify::Diag &dg = r.rep.diags[d];
+            os << (d ? ", " : "") << "{\"severity\": \""
+               << verify::severityName(dg.severity) << "\", \"check\": \""
+               << jsonEscape(dg.check) << "\", \"addr\": " << dg.addr
+               << ", \"line\": " << dg.line << ", \"where\": \""
+               << jsonEscape(dg.where) << "\", \"message\": \""
+               << jsonEscape(dg.message) << "\"}";
+        }
+        os << "]}" << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n";
+    os << "  \"totals\": {\"errors\": " << terr << ", \"warnings\": "
+       << twarn << ", \"notes\": " << tnote << "}\n";
+    os << "}\n";
+}
+
+/** SARIF 2.1.0 for GitHub code scanning. */
+void
+writeSarif(std::ostream &os, const std::vector<JobResult> &results)
+{
+    std::set<std::string> rules;
+    for (const JobResult &r : results) {
+        for (const verify::Diag &d : r.rep.diags)
+            rules.insert(d.check);
     }
 
-    static const msg::Kind kinds[] = {
-        msg::Kind::send0, msg::Kind::send1, msg::Kind::send2,
-        msg::Kind::read, msg::Kind::write, msg::Kind::pread,
-        msg::Kind::pwrite,
-    };
-    for (msg::Kind k : kinds) {
-        jobs.push_back({mname + "/send-" + msg::kindName(k), model,
-                        msg::senderProgram(model, k, 4), true});
+    os << "{\n"
+       << "  \"$schema\": "
+          "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+       << "  \"version\": \"2.1.0\",\n"
+       << "  \"runs\": [{\n"
+       << "    \"tool\": {\"driver\": {\"name\": \"tcpni_lint\", "
+          "\"rules\": [";
+    bool first = true;
+    for (const std::string &rule : rules) {
+        os << (first ? "" : ", ") << "{\"id\": \"" << jsonEscape(rule)
+           << "\"}";
+        first = false;
     }
-    return jobs;
+    os << "]}},\n    \"results\": [\n";
+    first = true;
+    for (const JobResult &r : results) {
+        for (const verify::Diag &d : r.rep.diags) {
+            if (d.severity == verify::Severity::note)
+                continue;   // stall estimates are not findings
+            os << (first ? "" : ",\n");
+            first = false;
+            std::string text = r.name + ": " + d.message;
+            if (!d.where.empty())
+                text += " [" + d.where + "]";
+            os << "      {\"ruleId\": \"" << jsonEscape(d.check)
+               << "\", \"level\": \"" << sarifLevel(d.severity)
+               << "\", \"message\": {\"text\": \"" << jsonEscape(text)
+               << "\"}, \"locations\": [{\"physicalLocation\": "
+                  "{\"artifactLocation\": {\"uri\": \"kernels/"
+               << uriSafe(r.name) << ".s\"}, \"region\": "
+                  "{\"startLine\": "
+               << (d.line ? d.line : 1) << "}}}]}";
+        }
+    }
+    os << "\n    ]\n  }]\n}\n";
 }
 
 } // namespace
@@ -88,6 +200,10 @@ main(int argc, char **argv)
     bool list = false;
     bool verbose = false;
     std::string only_model;
+    std::string format = "text";
+    std::string json_path;
+    std::vector<std::string> suppressed;
+    std::vector<std::string> selected;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -101,9 +217,26 @@ main(int argc, char **argv)
             verbose = true;
         } else if (arg == "--model" && i + 1 < argc) {
             only_model = argv[++i];
+        } else if (arg.rfind("--format=", 0) == 0) {
+            format = arg.substr(9);
+            if (format != "text" && format != "json" &&
+                format != "sarif") {
+                std::cerr << "tcpni_lint: unknown format '" << format
+                          << "'\n";
+                return 2;
+            }
+        } else if (arg == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (arg.rfind("-Wno-", 0) == 0 && arg.size() > 5) {
+            suppressed.push_back(arg.substr(5));
+        } else if (arg == "--only" && i + 1 < argc) {
+            selected.push_back(argv[++i]);
         } else if (arg == "-h" || arg == "--help") {
-            std::cout << "usage: tcpni_lint [--Werror] [--model NAME] "
-                         "[--notes] [--list] [-v]\n";
+            std::cout
+                << "usage: tcpni_lint [--Werror] [--model NAME] "
+                   "[--notes] [--list] [-v]\n"
+                   "                  [--format=text|json|sarif] "
+                   "[--json FILE] [-Wno-CHECK]... [--only CHECK]...\n";
             return 0;
         } else {
             std::cerr << "tcpni_lint: unknown option '" << arg << "'\n";
@@ -111,16 +244,78 @@ main(int argc, char **argv)
         }
     }
 
-    std::vector<Job> jobs;
     bool model_found = false;
+    std::vector<JobResult> results;
+
     for (const ni::ModelInfo &info : ni::registeredModels()) {
         if (!only_model.empty() && info.shortName != only_model &&
             info.name != only_model)
             continue;
         model_found = true;
-        for (Job &j : jobsFor(info))
-            jobs.push_back(std::move(j));
+
+        // Verify each kernel of the model's corpus, exporting the
+        // per-root summaries the protocol analyzer consumes.
+        std::vector<verify::ProtoKernel> senders;
+        std::vector<std::pair<std::string, verify::ProtoKernel>>
+            handler_kernels;    //!< job name -> summary
+
+        for (const msg::CorpusJob &cj : msg::kernelCorpus(info.model)) {
+            JobResult jr;
+            jr.name = info.shortName + "/" + cj.name;
+            if (list) {
+                if (cj.handlers)
+                    handler_kernels.push_back({cj.name, {}});
+                results.push_back(std::move(jr));
+                continue;
+            }
+            isa::AsmResult res =
+                isa::assembleAll(cj.source, msg::kernelSymbols());
+            if (!res.ok()) {
+                jr.assembled = false;
+                for (const isa::AsmDiag &d : res.errors) {
+                    jr.rep.add(verify::Severity::error, "assemble", 0,
+                               d.line, "", d.message);
+                }
+                results.push_back(std::move(jr));
+                continue;
+            }
+            verify::ProtoKernel pk;
+            pk.name = cj.name;
+            pk.handlers = cj.handlers;
+            verify::VerifyOptions vo;
+            vo.summary = &pk.summary;
+            jr.rep = cj.handlers
+                         ? verify::verifyHandlers(res.program,
+                                                  info.model, vo)
+                         : verify::verifySender(res.program, info.model,
+                                                vo);
+            if (cj.handlers)
+                handler_kernels.push_back({cj.name, std::move(pk)});
+            else
+                senders.push_back(std::move(pk));
+            results.push_back(std::move(jr));
+        }
+
+        // One protocol analysis per handler-kernel variant: the
+        // variant plus every sender forms the corpus actually
+        // deployed together.
+        for (const auto &[hname, hk] : handler_kernels) {
+            std::string suffix = hname.size() > 8 /* "handlers" */
+                                     ? hname.substr(8)
+                                     : "";
+            JobResult jr;
+            jr.name = info.shortName + "/proto" + suffix;
+            if (!list) {
+                std::vector<verify::ProtoKernel> corpus;
+                corpus.push_back(hk);
+                corpus.insert(corpus.end(), senders.begin(),
+                              senders.end());
+                jr.rep = verify::analyzeProtocol(info.model, corpus);
+            }
+            results.push_back(std::move(jr));
+        }
     }
+
     if (!model_found) {
         std::cerr << "tcpni_lint: no model named '" << only_model
                   << "'\n";
@@ -128,51 +323,68 @@ main(int argc, char **argv)
     }
 
     if (list) {
-        for (const Job &j : jobs)
-            std::cout << j.name << "\n";
+        for (const JobResult &r : results)
+            std::cout << r.name << "\n";
         return 0;
+    }
+
+    // Check filters.  Suppression applies after verification, so a
+    // -Wno-* run still verifies everything; it only mutes reporting
+    // and the exit status.
+    for (JobResult &r : results) {
+        if (!selected.empty())
+            r.rep.select(selected);
+        r.rep.suppress(suppressed);
     }
 
     unsigned failures = 0;
     unsigned errors = 0, warnings = 0, note_count = 0;
-    for (const Job &j : jobs) {
-        isa::AsmResult res =
-            isa::assembleAll(j.source, msg::kernelSymbols());
-        if (!res.ok()) {
-            std::cout << j.name << ": FAILED (does not assemble)\n";
-            for (const isa::AsmDiag &d : res.errors)
-                std::cout << "  line " << d.line << ": " << d.message
-                          << "\n";
+    for (const JobResult &r : results) {
+        errors += r.rep.count(verify::Severity::error);
+        warnings += r.rep.count(verify::Severity::warning);
+        note_count += r.rep.count(verify::Severity::note);
+        if (r.failed(werror))
             ++failures;
-            continue;
-        }
-
-        verify::Report rep =
-            j.sender ? verify::verifySender(res.program, j.model)
-                     : verify::verifyHandlers(res.program, j.model);
-        errors += rep.count(verify::Severity::error);
-        warnings += rep.count(verify::Severity::warning);
-        note_count += rep.count(verify::Severity::note);
-
-        bool clean = rep.clean(werror);
-        if (!clean)
-            ++failures;
-        if (!clean || verbose) {
-            std::cout << j.name << ": "
-                      << (clean ? "ok" : "FAILED") << "\n";
-        }
-        for (const verify::Diag &d : rep.diags) {
-            if (d.severity == verify::Severity::note && !notes)
-                continue;
-            std::cout << "  " << d.format() << "\n";
-        }
     }
 
-    std::cout << jobs.size() << " kernels linted: " << errors
-              << " error(s), " << warnings << " warning(s), "
-              << note_count << " note(s)";
-    if (werror)
-        std::cout << " [--Werror]";
-    std::cout << (failures ? " -- FAILED\n" : " -- clean\n");
+    if (format == "json") {
+        writeJson(std::cout, results, werror);
+    } else if (format == "sarif") {
+        writeSarif(std::cout, results);
+    } else {
+        for (const JobResult &r : results) {
+            bool clean = !r.failed(werror);
+            if (!r.assembled) {
+                std::cout << r.name << ": FAILED (does not assemble)\n";
+            } else if (!clean || verbose) {
+                std::cout << r.name << ": "
+                          << (clean ? "ok" : "FAILED") << "\n";
+            }
+            for (const verify::Diag &d : r.rep.diags) {
+                if (d.severity == verify::Severity::note && !notes)
+                    continue;
+                std::cout << "  " << d.format() << "\n";
+            }
+        }
+        std::cout << results.size() << " jobs linted: " << errors
+                  << " error(s), " << warnings << " warning(s), "
+                  << note_count << " note(s)";
+        if (werror)
+            std::cout << " [--Werror]";
+        std::cout << (failures ? " -- FAILED\n" : " -- clean\n");
+    }
+
+    if (!json_path.empty()) {
+        std::ofstream jf(json_path);
+        if (!jf) {
+            std::cerr << "tcpni_lint: cannot write '" << json_path
+                      << "'\n";
+            return 2;
+        }
+        writeJson(jf, results, werror);
+    }
+
+    // Severity-aware exit: errors (and assembly failures) always
+    // fail; warnings fail only under --Werror.
     return failures ? 1 : 0;
 }
